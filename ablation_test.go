@@ -1,0 +1,163 @@
+package genconsensus
+
+import (
+	"testing"
+)
+
+// Ablation: bounded history (footnote 5 / [3] variant). With a bound at
+// least as long as the adversary can stall decisions into the past (here:
+// bound ≥ 2 phases), PBFT keeps deciding safely under attack; the test also
+// documents the trade-off — the bound caps message growth.
+func TestAblationHistoryBound(t *testing.T) {
+	for _, bound := range []int{2, 4, 8} {
+		bound := bound
+		for seed := int64(0); seed < 10; seed++ {
+			spec, err := NewPBFT(4, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Apply(WithHistoryBound(bound)); err != nil {
+				t.Fatal(err)
+			}
+			inits := SplitInits(4, "b", "a")
+			delete(inits, 3)
+			res, err := Run(spec, inits,
+				WithSeed(seed),
+				WithByzantine(3, ForgeTimestamp("z")),
+				WithGoodFromPhase(2),
+				WithDropProbability(0.5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllDecided {
+				t.Fatalf("bound=%d seed=%d: no termination in %d rounds", bound, seed, res.Rounds)
+			}
+			if len(res.Violations) > 0 {
+				t.Fatalf("bound=%d seed=%d: %v", bound, seed, res.Violations)
+			}
+		}
+	}
+}
+
+// Ablation: byte growth with and without the history bound. Unbounded
+// histories grow with the phase count; the bound flattens them.
+func TestAblationHistoryBytes(t *testing.T) {
+	run := func(bound int) int64 {
+		spec, err := NewPBFT(4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound > 0 {
+			if err := spec.Apply(WithHistoryBound(bound)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Delay the good phase so several phases of history accumulate.
+		res, err := Run(spec, SplitInits(4, "b", "a"),
+			WithSeed(3), WithGoodFromPhase(8), WithDropProbability(0.7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided || len(res.Violations) > 0 {
+			t.Fatalf("bound=%d: decided=%v violations=%v", bound, res.AllDecided, res.Violations)
+		}
+		return res.Stats.BytesSent
+	}
+	unbounded := run(0)
+	bounded := run(2)
+	if bounded >= unbounded {
+		t.Errorf("history bound did not reduce traffic: bounded=%d unbounded=%d", bounded, unbounded)
+	}
+	t.Logf("ablation: bytes to decision with 8 bad phases: unbounded=%d, bound-2=%d", unbounded, bounded)
+}
+
+// Ablation: the line-11 chooser. Both deterministic rules are safe; the
+// smallest-most-often rule (the original OTR's) can converge in fewer
+// phases on skewed splits because it follows the plurality.
+func TestAblationChoosers(t *testing.T) {
+	type result struct{ rounds int }
+	run := func(mostOften bool, seed int64) result {
+		spec, err := NewGeneric(Class1, 7, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mostOften {
+			spec.Params.Chooser = nil // default MinChooser
+		}
+		res, err := Run(spec, SplitInits(7, "b", "b", "b", "b", "a", "a", "a"), WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided || len(res.Violations) > 0 {
+			t.Fatalf("chooser run failed: %+v", res.Violations)
+		}
+		return result{res.Rounds}
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		a := run(false, seed)
+		b := run(true, seed)
+		if a.rounds <= 0 || b.rounds <= 0 {
+			t.Fatal("no rounds recorded")
+		}
+	}
+}
+
+// Ablation: selector choice for MQB — whole Π versus the rotating b+1
+// subset of §4.2. Both decide; the subset variant sends fewer selection
+// messages (selection messages go only to the validators).
+func TestAblationSelectors(t *testing.T) {
+	full, err := NewMQB(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, err := NewMQB(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := subset.Apply(WithRotatingSubsetSelector(3)); err != nil {
+		t.Fatal(err)
+	}
+	resFull, err := Run(full, SplitInits(9, "b", "a"), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSub, err := Run(subset, SplitInits(9, "b", "a"), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]Result{"full": resFull, "subset": resSub} {
+		if !res.AllDecided || len(res.Violations) > 0 {
+			t.Fatalf("%s selector: decided=%v violations=%v", name, res.AllDecided, res.Violations)
+		}
+	}
+	if resSub.Stats.MessagesSent >= resFull.Stats.MessagesSent {
+		t.Errorf("subset selector sent %d messages, full Π sent %d — expected fewer",
+			resSub.Stats.MessagesSent, resFull.Stats.MessagesSent)
+	}
+	t.Logf("ablation: MQB n=9 b=2 messages to decision: Π=%d, rotating-3-subset=%d",
+		resFull.Stats.MessagesSent, resSub.Stats.MessagesSent)
+}
+
+// Ablation: merged versus unmerged class-1 phases (the §3.2 overlap
+// optimization). Merged OTR decides in half the rounds on unanimous inputs.
+func TestAblationMergedRounds(t *testing.T) {
+	merged, err := NewOneThirdRule(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmerged, err := NewGeneric(Class1, 4, 0, 1) // plain 2-round phases
+	if err != nil {
+		t.Fatal(err)
+	}
+	resM, err := Run(merged, UnanimousInits(4, "v"), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resU, err := Run(unmerged, UnanimousInits(4, "v"), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resM.Rounds != 1 || resU.Rounds != 2 {
+		t.Errorf("rounds merged=%d (want 1) unmerged=%d (want 2)", resM.Rounds, resU.Rounds)
+	}
+}

@@ -1,0 +1,205 @@
+// Command consensus-sim runs one algorithm under a configurable fault and
+// network scenario and reports the outcome, per-round trace included.
+//
+// Examples:
+//
+//	go run ./cmd/consensus-sim -algo pbft -n 4 -b 1 -byz 3:equivocate
+//	go run ./cmd/consensus-sim -algo paxos -n 3 -f 1 -crash 0:1 -good-phase 2
+//	go run ./cmd/consensus-sim -algo benor -n 3 -f 1 -rel -seed 9
+//	go run ./cmd/consensus-sim -algo mqb -n 9 -b 2 -inits a,b,c -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	consensus "genconsensus"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", "pbft", "algorithm: otr|fab|mqb|paxos|ct|pbft|benor|byzbenor|generic1|generic2|generic3")
+		n         = flag.Int("n", 4, "number of processes")
+		b         = flag.Int("b", 0, "maximum Byzantine processes")
+		f         = flag.Int("f", 0, "maximum crash-faulty processes")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		initsFlag = flag.String("inits", "a,b", "initial values, assigned round-robin")
+		byzFlag   = flag.String("byz", "", "Byzantine processes: pid:strategy[,pid:strategy] (silent|equivocate|junk|forge|mimic)")
+		crashFlag = flag.String("crash", "", "crashes: pid:round[,pid:round]")
+		goodPhase = flag.Int("good-phase", 1, "first good phase (phases before are adversarial)")
+		keepP     = flag.Float64("keep", 0.5, "bad-round delivery probability")
+		rel       = flag.Bool("rel", false, "run every round under Prel (randomized algorithms)")
+		alwaysBad = flag.Bool("always-bad", false, "never provide a good phase (safety-only run)")
+		maxRounds = flag.Int("max-rounds", 600, "round budget")
+		verbose   = flag.Bool("v", false, "print the per-round trace")
+	)
+	flag.Parse()
+
+	spec, err := buildSpec(*algo, *n, *b, *f, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("algorithm:", spec)
+
+	vals := strings.Split(*initsFlag, ",")
+	initVals := make([]consensus.Value, 0, len(vals))
+	for _, v := range vals {
+		if v = strings.TrimSpace(v); v != "" {
+			initVals = append(initVals, consensus.Value(v))
+		}
+	}
+	if len(initVals) == 0 {
+		fail(fmt.Errorf("no initial values"))
+	}
+	inits := consensus.SplitInits(*n, initVals...)
+
+	opts := []consensus.RunOption{
+		consensus.WithSeed(*seed),
+		consensus.WithMaxRounds(*maxRounds),
+		consensus.WithDropProbability(*keepP),
+	}
+	switch {
+	case *rel:
+		opts = append(opts, consensus.WithRel())
+	case *alwaysBad:
+		opts = append(opts, consensus.WithAlwaysBad())
+	default:
+		opts = append(opts, consensus.WithGoodFromPhase(consensus.Phase(*goodPhase)))
+	}
+	if *byzFlag != "" {
+		for _, part := range strings.Split(*byzFlag, ",") {
+			pid, strat, err := parseByz(part)
+			if err != nil {
+				fail(err)
+			}
+			delete(inits, pid)
+			opts = append(opts, consensus.WithByzantine(pid, strat))
+		}
+	}
+	if *crashFlag != "" {
+		for _, part := range strings.Split(*crashFlag, ",") {
+			pid, round, err := parsePair(part)
+			if err != nil {
+				fail(err)
+			}
+			opts = append(opts, consensus.WithCrash(consensus.PID(pid), consensus.Round(round)))
+		}
+	}
+
+	res, err := consensus.Run(spec, inits, opts...)
+	if err != nil {
+		fail(err)
+	}
+
+	if *verbose {
+		fmt.Println("\nper-round trace:")
+		for _, rec := range res.Records {
+			fmt.Printf("  r%-4d φ%-3d %-11s mode=%-5s sent=%-4d delivered=%-4d bytes=%d\n",
+				rec.Round, rec.Phase, rec.Kind, rec.Mode, rec.Sent, rec.Delivered, rec.Bytes)
+		}
+	}
+
+	fmt.Printf("\nrounds executed: %d\n", res.Rounds)
+	fmt.Printf("all correct decided: %v\n", res.AllDecided)
+	for p := consensus.PID(0); int(p) < *n; p++ {
+		if v, ok := res.Decisions[p]; ok {
+			fmt.Printf("  process %d → %q (round %d)\n", p, v, res.DecidedAt[p])
+		} else {
+			fmt.Printf("  process %d → (no decision)\n", p)
+		}
+	}
+	fmt.Printf("traffic: %d msgs sent, %d delivered, %d bytes\n",
+		res.Stats.MessagesSent, res.Stats.MessagesDelivered, res.Stats.BytesSent)
+	if len(res.Violations) > 0 {
+		fmt.Println("SAFETY VIOLATIONS:")
+		for _, v := range res.Violations {
+			fmt.Println("  -", v)
+		}
+		os.Exit(2)
+	}
+	fmt.Println("safety: OK")
+}
+
+func buildSpec(algo string, n, b, f int, seed int64) (*consensus.Spec, error) {
+	switch strings.ToLower(algo) {
+	case "otr", "onethirdrule":
+		return consensus.NewOneThirdRule(n, f)
+	case "fab", "fabpaxos":
+		return consensus.NewFaBPaxos(n, b)
+	case "mqb":
+		return consensus.NewMQB(n, b)
+	case "paxos":
+		return consensus.NewPaxos(n, f)
+	case "ct", "chandratoueg":
+		return consensus.NewChandraToueg(n, f)
+	case "pbft":
+		return consensus.NewPBFT(n, b)
+	case "benor":
+		return consensus.NewBenOr(n, f, seed*31+7)
+	case "byzbenor":
+		return consensus.NewByzantineBenOr(n, b, seed*31+7, false)
+	case "generic1":
+		return consensus.NewGeneric(consensus.Class1, n, b, f)
+	case "generic2":
+		return consensus.NewGeneric(consensus.Class2, n, b, f)
+	case "generic3":
+		return consensus.NewGeneric(consensus.Class3, n, b, f)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func parseByz(part string) (consensus.PID, consensus.Strategy, error) {
+	pid, name, err := splitPair(part)
+	if err != nil {
+		return 0, nil, err
+	}
+	var strat consensus.Strategy
+	switch strings.ToLower(name) {
+	case "silent":
+		strat = consensus.Silent()
+	case "equivocate":
+		strat = consensus.Equivocate("a", "b")
+	case "junk":
+		strat = consensus.RandomJunk("a", "b", "z")
+	case "forge":
+		strat = consensus.ForgeTimestamp("z")
+	case "mimic":
+		strat = consensus.Mimic()
+	default:
+		return 0, nil, fmt.Errorf("unknown strategy %q", name)
+	}
+	return consensus.PID(pid), strat, nil
+}
+
+func parsePair(part string) (int, int, error) {
+	pid, v, err := splitPair(part)
+	if err != nil {
+		return 0, 0, err
+	}
+	round, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad round in %q: %w", part, err)
+	}
+	return pid, round, nil
+}
+
+func splitPair(part string) (int, string, error) {
+	bits := strings.SplitN(strings.TrimSpace(part), ":", 2)
+	if len(bits) != 2 {
+		return 0, "", fmt.Errorf("expected pid:value, got %q", part)
+	}
+	pid, err := strconv.Atoi(bits[0])
+	if err != nil {
+		return 0, "", fmt.Errorf("bad pid in %q: %w", part, err)
+	}
+	return pid, bits[1], nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "consensus-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command kvctl is the client for the kvnode cluster. Write commands are
+// sent to every replica (the PBFT client model: a command is proposed once
+// at least one correct replica queues it; duplicates are suppressed by
+// request id), then the client polls a replica until the write is applied.
+//
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201 set color green
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200 get color
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200 del color
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200 loglen
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		nodes   = flag.String("nodes", "127.0.0.1:7200", "comma-separated client addresses")
+		timeout = flag.Duration("timeout", 10*time.Second, "overall operation timeout")
+	)
+	flag.Parse()
+	addrs := strings.Split(*nodes, ",")
+	args := flag.Args()
+	if len(args) == 0 {
+		fail("usage: kvctl [-nodes ...] set <k> <v> | del <k> | get <k> | loglen")
+	}
+
+	switch strings.ToLower(args[0]) {
+	case "get":
+		if len(args) != 2 {
+			fail("usage: get <key>")
+		}
+		fmt.Println(request(addrs[0], "GET "+args[1]))
+	case "loglen":
+		fmt.Println(request(addrs[0], "LOGLEN"))
+	case "set":
+		if len(args) != 3 {
+			fail("usage: set <key> <value>")
+		}
+		reqID := newReqID()
+		broadcast(addrs, fmt.Sprintf("CMD %s SET %s %s", reqID, args[1], args[2]))
+		waitUntil(addrs[0], "GET "+args[1], args[2], *timeout)
+		fmt.Println("OK")
+	case "del":
+		if len(args) != 2 {
+			fail("usage: del <key>")
+		}
+		reqID := newReqID()
+		broadcast(addrs, fmt.Sprintf("CMD %s DEL %s", reqID, args[1]))
+		waitUntil(addrs[0], "GET "+args[1], "NOTFOUND", *timeout)
+		fmt.Println("OK")
+	default:
+		fail("unknown operation " + args[0])
+	}
+}
+
+func newReqID() string {
+	return fmt.Sprintf("req-%d-%d", time.Now().UnixNano(), rand.Intn(1_000_000))
+}
+
+// broadcast sends the line to every replica; at least one reply must be
+// QUEUED.
+func broadcast(addrs []string, line string) {
+	queued := 0
+	for _, addr := range addrs {
+		if resp := request(strings.TrimSpace(addr), line); resp == "QUEUED" {
+			queued++
+		}
+	}
+	if queued == 0 {
+		fail("no replica accepted the command")
+	}
+}
+
+// waitUntil polls the read until it matches want or the timeout elapses.
+func waitUntil(addr, line, want string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if request(addr, line) == want {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fail("timed out waiting for the command to apply")
+}
+
+func request(addr, line string) string {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, line)
+	scanner := bufio.NewScanner(conn)
+	if scanner.Scan() {
+		return scanner.Text()
+	}
+	return "ERR no response"
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "kvctl:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,201 @@
+// Command kvnode is one replica of a TCP-replicated key-value store: PBFT
+// consensus instances (the class-3 instantiation) decide a shared command
+// log over the internal/transport runtime; the kv state machine applies it.
+//
+// A 4-node local cluster:
+//
+//	go run ./cmd/kvnode -id 0 -n 4 -listen 127.0.0.1:7100 -client 127.0.0.1:7200 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 &
+//	go run ./cmd/kvnode -id 1 -n 4 -listen 127.0.0.1:7101 -client 127.0.0.1:7201 -peers ... &
+//	... (ids 2, 3)
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201,127.0.0.1:7202,127.0.0.1:7203 set color green
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200 get color
+//
+// Client protocol (one line per request):
+//
+//	CMD <reqID> SET <key> <value>   → "QUEUED"
+//	CMD <reqID> DEL <key>           → "QUEUED"
+//	GET <key>                       → value or "NOTFOUND"
+//	LOGLEN                          → decided-log length
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"genconsensus/internal/core"
+	"genconsensus/internal/flv"
+	"genconsensus/internal/kv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/selector"
+	"genconsensus/internal/smr"
+	"genconsensus/internal/transport"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "this node's process id")
+		n         = flag.Int("n", 4, "cluster size")
+		b         = flag.Int("b", 1, "Byzantine fault tolerance (n must exceed 3b)")
+		listen    = flag.String("listen", "127.0.0.1:7100", "consensus listen address")
+		client    = flag.String("client", "127.0.0.1:7200", "client listen address")
+		peersFlag = flag.String("peers", "", "comma-separated consensus addresses, in pid order")
+		authSeed  = flag.Int64("auth-seed", 42, "cluster authentication seed (must match on all nodes)")
+	)
+	flag.Parse()
+
+	peerList := strings.Split(*peersFlag, ",")
+	if len(peerList) != *n {
+		log.Fatalf("kvnode: need %d peer addresses, got %d", *n, len(peerList))
+	}
+	peers := make(map[model.PID]string, *n)
+	for i, addr := range peerList {
+		peers[model.PID(i)] = strings.TrimSpace(addr)
+	}
+
+	node, err := transport.Listen(transport.Config{
+		ID: model.PID(*id), N: *n,
+		Peers:         peers,
+		ListenAddr:    *listen,
+		AuthSeed:      *authSeed,
+		BaseTimeout:   50 * time.Millisecond,
+		TimeoutGrowth: 20 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatalf("kvnode: %v", err)
+	}
+	defer node.Close()
+
+	params := core.Params{
+		N: *n, B: *b, F: 0, TD: 2**b + 1,
+		Flag:       model.FlagPhase,
+		FLV:        flv.NewPBFT(*n, *b),
+		Selector:   selector.NewAll(*n),
+		Chooser:    smr.CommandChooser{},
+		UseHistory: true,
+	}
+	if err := params.Validate(); err != nil {
+		log.Fatalf("kvnode: %v", err)
+	}
+
+	store := kv.NewStore()
+	replica := smr.NewReplica(model.PID(*id), store)
+
+	ln, err := net.Listen("tcp", *client)
+	if err != nil {
+		log.Fatalf("kvnode: client listen: %v", err)
+	}
+	defer ln.Close()
+	log.Printf("kvnode %d: consensus on %s, clients on %s", *id, node.Addr(), ln.Addr())
+
+	var stopping atomic.Bool
+	go serveClients(ln, replica, store, &stopping)
+	go runInstances(node, replica, params, &stopping)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	stopping.Store(true)
+	log.Printf("kvnode %d: shutting down", *id)
+}
+
+// runInstances drives consensus instances sequentially: a new instance
+// starts when this replica has pending commands or when peers have already
+// begun it.
+func runInstances(node *transport.Node, replica *smr.Replica, params core.Params, stopping *atomic.Bool) {
+	instance := uint64(1)
+	for !stopping.Load() {
+		if replica.PendingLen() == 0 && !node.HasInstance(instance) {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		proposal := replica.Proposal()
+		proc, err := core.NewProcess(node.ID(), proposal, params)
+		if err != nil {
+			log.Printf("kvnode: building process: %v", err)
+			return
+		}
+		decided, err := node.RunProc(instance, proc, 400, 6)
+		if err != nil {
+			// Peers may be down or slow: retry the same instance.
+			log.Printf("kvnode: instance %d: %v (retrying)", instance, err)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		resp := replica.Commit(decided)
+		log.Printf("kvnode: instance %d decided %q → %s", instance, decided, resp)
+		instance++
+	}
+}
+
+func serveClients(ln net.Listener, replica *smr.Replica, store *kv.Store, stopping *atomic.Bool) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if stopping.Load() {
+				return
+			}
+			continue
+		}
+		go handleClient(conn, replica, store)
+	}
+}
+
+func handleClient(conn net.Conn, replica *smr.Replica, store *kv.Store) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		var resp string
+		switch strings.ToUpper(fields[0]) {
+		case "CMD":
+			resp = handleCmd(fields[1:], replica)
+		case "GET":
+			if len(fields) != 2 {
+				resp = "ERR usage: GET <key>"
+			} else if v, ok := store.Get(fields[1]); ok {
+				resp = v
+			} else {
+				resp = "NOTFOUND"
+			}
+		case "LOGLEN":
+			resp = fmt.Sprintf("%d", replica.Log.Len())
+		default:
+			resp = "ERR unknown command"
+		}
+		fmt.Fprintln(conn, resp)
+	}
+}
+
+func handleCmd(fields []string, replica *smr.Replica) string {
+	if len(fields) < 3 {
+		return "ERR usage: CMD <reqID> SET|DEL <key> [value]"
+	}
+	reqID, op := fields[0], strings.ToUpper(fields[1])
+	switch op {
+	case "SET":
+		if len(fields) != 4 {
+			return "ERR usage: CMD <reqID> SET <key> <value>"
+		}
+		replica.Submit(kv.Command(reqID, "SET", fields[2], fields[3]))
+	case "DEL":
+		if len(fields) != 3 {
+			return "ERR usage: CMD <reqID> DEL <key>"
+		}
+		replica.Submit(kv.Command(reqID, "DEL", fields[2], ""))
+	default:
+		return "ERR unknown op " + op
+	}
+	return "QUEUED"
+}

@@ -1,0 +1,72 @@
+package genconsensus_test
+
+import (
+	"fmt"
+	"sort"
+
+	consensus "genconsensus"
+)
+
+// Building the paper's new MQB algorithm and running it fault-free.
+func ExampleNewMQB() {
+	spec, err := consensus.NewMQB(5, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := consensus.Run(spec,
+		consensus.SplitInits(5, "b", "a"),
+		consensus.WithSeed(1),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// With proposals b,a,b,a,b the value "b" reaches three copies —
+	// above the class-2 FLV support threshold — and is selected.
+	fmt.Println(spec.Class, "rounds:", res.Rounds, "decision:", res.Decisions[0])
+	// Output: class 2 rounds: 3 decision: b
+}
+
+// PBFT with an equivocating Byzantine process: all honest processes agree.
+func ExampleNewPBFT() {
+	spec, err := consensus.NewPBFT(4, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	inits := map[consensus.PID]consensus.Value{0: "x", 1: "y", 2: "x"}
+	res, err := consensus.Run(spec, inits,
+		consensus.WithSeed(1),
+		consensus.WithByzantine(3, consensus.Equivocate("x", "y")),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	decisions := make([]string, 0, len(res.Decisions))
+	for _, v := range res.Decisions {
+		decisions = append(decisions, string(v))
+	}
+	sort.Strings(decisions)
+	fmt.Println(decisions, len(res.Violations) == 0)
+	// Output: [x x x] true
+}
+
+// The generic constructor classifies any (class, n, b, f) configuration.
+func ExampleNewGeneric() {
+	spec, err := consensus.NewGeneric(consensus.Class3, 6, 1, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(spec.TD, spec.RoundsPerPhase(), spec.StateVars())
+	// Output: 4 3 [vote ts history]
+}
+
+// Below-bound configurations are rejected with the violated constraint.
+func ExampleNewPBFT_belowBound() {
+	_, err := consensus.NewPBFT(3, 1) // PBFT needs n > 3b
+	fmt.Println(err != nil)
+	// Output: true
+}

@@ -1,0 +1,98 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	kr, err := NewKeyring(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := kr.Signer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signer.ID() != 2 {
+		t.Errorf("signer ID = %d", signer.ID())
+	}
+	payload := []byte("selection round message")
+	sig := signer.Sign(payload)
+	if err := kr.Verifier().Verify(2, payload, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsForgery(t *testing.T) {
+	kr, _ := NewKeyring(4, 42)
+	signer, _ := kr.Signer(1)
+	payload := []byte("msg")
+	sig := signer.Sign(payload)
+
+	// Wrong claimed signer.
+	if err := kr.Verifier().Verify(2, payload, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("impersonation accepted: %v", err)
+	}
+	// Tampered payload.
+	if err := kr.Verifier().Verify(1, []byte("msG"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered payload accepted: %v", err)
+	}
+	// Tampered signature.
+	bad := append([]byte(nil), sig...)
+	bad[0] ^= 0xff
+	if err := kr.Verifier().Verify(1, payload, bad); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered signature accepted: %v", err)
+	}
+	// Unknown signer.
+	if err := kr.Verifier().Verify(9, payload, sig); !errors.Is(err, ErrUnknownSigner) {
+		t.Errorf("unknown signer: %v", err)
+	}
+	if _, err := kr.Signer(9); !errors.Is(err, ErrUnknownSigner) {
+		t.Errorf("Signer(9): %v", err)
+	}
+}
+
+func TestKeyringDeterminism(t *testing.T) {
+	kr1, _ := NewKeyring(3, 7)
+	kr2, _ := NewKeyring(3, 7)
+	s1, _ := kr1.Signer(0)
+	s2, _ := kr2.Signer(0)
+	payload := []byte("x")
+	if string(s1.Sign(payload)) != string(s2.Sign(payload)) {
+		t.Error("same seed must derive identical keys")
+	}
+	kr3, _ := NewKeyring(3, 8)
+	s3, _ := kr3.Signer(0)
+	if string(s1.Sign(payload)) == string(s3.Sign(payload)) {
+		t.Error("different seeds must derive different keys")
+	}
+}
+
+func TestPairKeySymmetry(t *testing.T) {
+	if PairKey(1, 0, 3) != PairKey(1, 3, 0) {
+		t.Error("PairKey must be symmetric")
+	}
+	if PairKey(1, 0, 3) == PairKey(1, 0, 2) {
+		t.Error("distinct pairs must get distinct keys")
+	}
+	if PairKey(1, 0, 3) == PairKey(2, 0, 3) {
+		t.Error("distinct seeds must get distinct keys")
+	}
+}
+
+func TestMAC(t *testing.T) {
+	key := PairKey(5, 0, 1)
+	payload := []byte("round 3 vote")
+	tag := MAC(key, payload)
+	if !CheckMAC(key, payload, tag) {
+		t.Fatal("valid MAC rejected")
+	}
+	if CheckMAC(key, []byte("round 3 votE"), tag) {
+		t.Error("tampered payload accepted")
+	}
+	other := PairKey(5, 0, 2)
+	if CheckMAC(other, payload, tag) {
+		t.Error("MAC verified under the wrong key")
+	}
+}

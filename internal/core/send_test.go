@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"genconsensus/internal/flv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/selector"
+)
+
+// Decision-round sends: ⟨vote, ts⟩ to all, with TS omitted under FLAG=*.
+func TestDecisionSend(t *testing.T) {
+	p := mustProcess(t, 0, v1, pbftParams())
+	// Validate v2 in phase 1 so vote/ts are non-trivial.
+	mu := model.Received{}
+	for i := 0; i < 4; i++ {
+		mu[model.PID(i)] = model.Message{Kind: model.ValidationRound, Vote: v2}
+	}
+	p.Transition(2, mu)
+	out := p.Send(3) // decision round of phase 1
+	if len(out) != 4 {
+		t.Fatalf("decision send to %d dests, want all 4", len(out))
+	}
+	msg := out[2]
+	if msg.Kind != model.DecisionRound || msg.Vote != v2 || msg.TS != 1 {
+		t.Fatalf("decision message = %v, want ⟨v2, 1⟩", msg)
+	}
+	if msg.History != nil || msg.Sel != nil {
+		t.Error("decision message must not carry history or selector sets")
+	}
+
+	// FLAG=*: the ts field stays zero.
+	star := mustProcess(t, 0, v1, Params{
+		N: 4, B: 0, F: 1, TD: 3,
+		Flag: model.FlagStar, FLV: flv.NewClass1(4, 3, 0), Selector: selector.NewAll(4),
+	})
+	msg = star.Send(2)[0] // decision round under the 2-round schedule
+	if msg.Kind != model.DecisionRound || msg.TS != 0 {
+		t.Fatalf("FLAG=* decision message = %v", msg)
+	}
+}
+
+// A validator whose selection produced null announces ⟨⊥⟩, and receivers do
+// not count it toward any value at line 22.
+func TestValidationSendNullSelect(t *testing.T) {
+	params := pbftParams()
+	p := mustProcess(t, 0, v1, params)
+	// Empty selection vector: FLV → null; p is still a validator (Π).
+	p.Transition(1, model.Received{})
+	out := p.Send(2)
+	if len(out) != 4 {
+		t.Fatalf("validator with null select must still send (got %d dests)", len(out))
+	}
+	if out[0].Vote != model.NoValue {
+		t.Fatalf("announced %q, want ⊥", out[0].Vote)
+	}
+	// Receiver side: four ⟨⊥⟩ announcements validate nothing.
+	q := mustProcess(t, 1, v1, params)
+	mu := model.Received{}
+	for i := 0; i < 4; i++ {
+		mu[model.PID(i)] = model.Message{Kind: model.ValidationRound, Vote: model.NoValue}
+	}
+	q.Transition(2, mu)
+	if q.TS() != 0 {
+		t.Fatalf("ts = %d after all-null validation, want 0", q.TS())
+	}
+	if q.Vote() != v1 {
+		t.Fatalf("vote = %q after all-null validation, want unchanged", q.Vote())
+	}
+}
+
+// Out-of-range rounds produce no sends and no transitions.
+func TestSendInvalidRound(t *testing.T) {
+	p := mustProcess(t, 0, v1, pbftParams())
+	if out := p.Send(0); out != nil {
+		t.Errorf("Send(0) = %v, want nil", out)
+	}
+	p.Transition(0, model.Received{}) // must not panic or mutate
+	if p.Vote() != v1 || p.TS() != 0 {
+		t.Error("Transition(0) mutated state")
+	}
+}
+
+// Decision ties: when two values qualify simultaneously (possible only in
+// adversarial below-bound configurations), the smallest wins at every
+// process — determinism keeps the outcome auditable.
+func TestDecisionTieBreak(t *testing.T) {
+	params := Params{
+		N: 6, B: 0, F: 1, TD: 3, // deliberately low TD: 2·TD ≤ n
+		Flag: model.FlagStar, FLV: flv.NewClass1(6, 3, 0), Selector: selector.NewAll(6),
+	}
+	p := mustProcess(t, 0, v1, params)
+	mu := model.Received{
+		0: {Vote: "b"}, 1: {Vote: "b"}, 2: {Vote: "b"},
+		3: {Vote: "a"}, 4: {Vote: "a"}, 5: {Vote: "a"},
+	}
+	p.Transition(2, mu)
+	v, ok := p.Decided()
+	if !ok || v != "a" {
+		t.Fatalf("Decided = (%q, %v), want deterministic smallest \"a\"", v, ok)
+	}
+}
+
+// Validate error cases not covered elsewhere: skip-first with a non-fixed
+// selector.
+func TestValidateSkipFirstNeedsFixed(t *testing.T) {
+	p := pbftParams()
+	p.Selector = perProcessSelector{n: 4}
+	p.SkipFirstSelection = true
+	if err := p.Validate(); !errors.Is(err, ErrSkipNeedsFixed) {
+		t.Fatalf("Validate = %v, want ErrSkipNeedsFixed", err)
+	}
+}
+
+// selFromCounts ignores messages without Sel fields and returns nil when no
+// set reaches the threshold.
+func TestSelFromCounts(t *testing.T) {
+	mu := model.Received{
+		0: {Sel: []model.PID{0, 1}},
+		1: {Sel: []model.PID{0, 1}},
+		2: {}, // no proposal
+		3: {Sel: []model.PID{2, 3}},
+	}
+	got := selFromCounts(mu, func(c int) bool { return c >= 2 })
+	if model.PIDSetKey(got) != "0,1" {
+		t.Fatalf("selFromCounts = %v, want {0,1}", got)
+	}
+	if got := selFromCounts(mu, func(c int) bool { return c >= 3 }); got != nil {
+		t.Fatalf("selFromCounts = %v, want nil below threshold", got)
+	}
+	if got := selFromCounts(model.Received{}, func(int) bool { return true }); got != nil {
+		t.Fatalf("selFromCounts on empty vector = %v", got)
+	}
+}
+
+// sortedVoteKeys is deterministic and complete.
+func TestSortedVoteKeys(t *testing.T) {
+	counts := map[model.Value]int{"c": 1, "a": 2, "b": 3}
+	keys := sortedVoteKeys(counts)
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("sortedVoteKeys = %v", keys)
+	}
+	if len(sortedVoteKeys(nil)) != 0 {
+		t.Error("nil map must yield empty keys")
+	}
+}

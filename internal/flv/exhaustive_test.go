@@ -1,0 +1,210 @@
+package flv
+
+import (
+	"testing"
+
+	"genconsensus/internal/model"
+)
+
+// Exhaustive small-model checking of FLV-agreement: rather than sampling
+// adversarial vectors, enumerate *every* protocol-reachable honest
+// configuration and *every* Byzantine message over a small domain, plus
+// every receive subset, and assert that when v1 is locked, nothing but v1
+// or null ever comes back.
+
+// enumByzMessages enumerates Byzantine selection messages over a small
+// domain: votes {v1,v2}, timestamps 0..maxTS, histories built from up to
+// two forged entries.
+func enumByzMessages(maxTS model.Phase) []model.Message {
+	var out []model.Message
+	votes := []model.Value{v1, v2}
+	for _, vote := range votes {
+		for ts := model.Phase(0); ts <= maxTS; ts++ {
+			base := model.NewHistory(vote)
+			hists := []model.History{
+				nil,
+				base,
+				base.Clone().Add(vote, ts),
+				base.Clone().Add(vote, ts).Add(v2, maxTS),
+				model.NewHistory(v2).Add(v2, maxTS).Add(v2, maxTS-1),
+			}
+			for _, h := range hists {
+				out = append(out, sel(vote, ts, h))
+			}
+		}
+	}
+	return out
+}
+
+// TestClass2ExhaustiveAgreement: n=5, b=1, TD=4; v1 decided at phase 2, so
+// 3 honest processes hold (v1, 2). The fourth honest process ranges over
+// every state compatible with Lemma 4 (vote=v1 or ts<2); the Byzantine
+// message ranges over the full enumeration; the receive subset ranges over
+// all 2^5. Every evaluation must return v1 or null.
+func TestClass2ExhaustiveAgreement(t *testing.T) {
+	f := NewClass2(5, 4, 1)
+	const phi = model.Phase(3) // evaluating in phase 3, lock from phase 2
+	honestLocked := []model.Message{
+		sel(v1, 2, nil), sel(v1, 2, nil), sel(v1, 2, nil),
+	}
+	// Fourth honest process: Lemma 4-compatible states.
+	var laggards []model.Message
+	for _, vote := range []model.Value{v1, v2} {
+		for ts := model.Phase(0); ts <= 2; ts++ {
+			if vote != v1 && ts >= 2 {
+				continue // only v1 was validated at phase 2
+			}
+			laggards = append(laggards, sel(vote, ts, nil))
+		}
+	}
+	byzMsgs := enumByzMessages(5)
+	evals := 0
+	for _, laggard := range laggards {
+		for _, byz := range byzMsgs {
+			msgs := append(append([]model.Message{}, honestLocked...), laggard, byz)
+			for mask := 0; mask < 1<<5; mask++ {
+				mu := model.Received{}
+				for i := 0; i < 5; i++ {
+					if mask&(1<<i) != 0 {
+						mu[model.PID(i)] = msgs[i]
+					}
+				}
+				res := f.Eval(mu, phi)
+				evals++
+				if res.Out == Any {
+					t.Fatalf("laggard=%v byz=%v mask=%05b: returned ?, v1 is locked", laggard, byz, mask)
+				}
+				if res.Out == Locked && res.Val != v1 {
+					t.Fatalf("laggard=%v byz=%v mask=%05b: returned %v, v1 is locked", laggard, byz, mask, res)
+				}
+			}
+		}
+	}
+	t.Logf("class-2 exhaustive agreement: %d evaluations, zero violations", evals)
+}
+
+// TestClass3ExhaustiveAgreement: n=4, b=1, TD=3; v1 decided at phase 2, so
+// 2 honest processes hold (v1, 2) with matching histories. The third honest
+// process ranges over Lemma-4/(***)-compatible states; the Byzantine message
+// ranges over the full enumeration including forged histories.
+func TestClass3ExhaustiveAgreement(t *testing.T) {
+	f := NewClass3(4, 3, 1, false)
+	const phi = model.Phase(3)
+	h1 := model.NewHistory(v1).Add(v1, 2)
+	h2 := model.NewHistory(v2).Add(v1, 2)
+	honestLocked := []model.Message{sel(v1, 2, h1), sel(v1, 2, h2)}
+	var laggards []model.Message
+	for _, vote := range []model.Value{v1, v2} {
+		for ts := model.Phase(0); ts <= 2; ts++ {
+			if vote != v1 && ts >= 2 {
+				continue
+			}
+			// History: entries with phase ≤ 2; any entry at phase 2
+			// must be v1 (***). Enumerate a few shapes.
+			base := model.NewHistory(vote)
+			hists := []model.History{
+				base,
+				base.Clone().Add(vote, ts),
+				base.Clone().Add(vote, ts).Add(v1, 2),
+			}
+			for _, h := range hists {
+				laggards = append(laggards, sel(vote, ts, h))
+			}
+		}
+	}
+	byzMsgs := enumByzMessages(5)
+	evals := 0
+	for _, laggard := range laggards {
+		for _, byz := range byzMsgs {
+			msgs := append(append([]model.Message{}, honestLocked...), laggard, byz)
+			for mask := 0; mask < 1<<4; mask++ {
+				mu := model.Received{}
+				for i := 0; i < 4; i++ {
+					if mask&(1<<i) != 0 {
+						mu[model.PID(i)] = msgs[i]
+					}
+				}
+				res := f.Eval(mu, phi)
+				evals++
+				if res.Out == Any {
+					t.Fatalf("laggard=%v byz=%v mask=%04b: returned ?, v1 is locked", laggard, byz, mask)
+				}
+				if res.Out == Locked && res.Val != v1 {
+					t.Fatalf("laggard=%v byz=%v mask=%04b: returned %v, v1 is locked", laggard, byz, mask, res)
+				}
+			}
+		}
+	}
+	t.Logf("class-3 exhaustive agreement: %d evaluations, zero violations", evals)
+}
+
+// TestClass1ExhaustiveAgreement: n=6, b=1, TD=5; v1 decided, so (FLAG=*)
+// every honest process votes v1 once v1 is locked; the Byzantine message
+// ranges over the enumeration and every receive subset is checked.
+func TestClass1ExhaustiveAgreement(t *testing.T) {
+	f := NewClass1(6, 5, 1)
+	honest := []model.Message{
+		sel(v1, 0, nil), sel(v1, 0, nil), sel(v1, 0, nil), sel(v1, 0, nil), sel(v1, 0, nil),
+	}
+	byzMsgs := enumByzMessages(3)
+	evals := 0
+	for _, byz := range byzMsgs {
+		msgs := append(append([]model.Message{}, honest...), byz)
+		for mask := 0; mask < 1<<6; mask++ {
+			mu := model.Received{}
+			for i := 0; i < 6; i++ {
+				if mask&(1<<i) != 0 {
+					mu[model.PID(i)] = msgs[i]
+				}
+			}
+			res := f.Eval(mu, 2)
+			evals++
+			if res.Out == Any {
+				t.Fatalf("byz=%v mask=%06b: returned ?, v1 is locked", byz, mask)
+			}
+			if res.Out == Locked && res.Val != v1 {
+				t.Fatalf("byz=%v mask=%06b: returned %v, v1 is locked", byz, mask, res)
+			}
+		}
+	}
+	t.Logf("class-1 exhaustive agreement: %d evaluations, zero violations", evals)
+}
+
+// The Paxos FLV (Algorithm 7, b=0): exhaustive over honest benign states.
+// v1 decided at phase 2 with majority TD=2 of n=3: both deciders hold
+// (v1, 2); the third process holds any Lemma-4-compatible state. No
+// Byzantine messages (b=0); message loss is modelled by subsets.
+func TestPaxosExhaustiveAgreement(t *testing.T) {
+	f := NewPaxos(3)
+	deciders := []model.Message{sel(v1, 2, nil), sel(v1, 2, nil)}
+	var thirds []model.Message
+	for _, vote := range []model.Value{v1, v2} {
+		for ts := model.Phase(0); ts <= 2; ts++ {
+			if vote != v1 && ts >= 2 {
+				continue
+			}
+			thirds = append(thirds, sel(vote, ts, nil))
+		}
+	}
+	for _, third := range thirds {
+		msgs := append(append([]model.Message{}, deciders...), third)
+		for mask := 0; mask < 1<<3; mask++ {
+			mu := model.Received{}
+			for i := 0; i < 3; i++ {
+				if mask&(1<<i) != 0 {
+					mu[model.PID(i)] = msgs[i]
+				}
+			}
+			res := f.Eval(mu, 3)
+			if res.Out == Any && len(mu) >= 2 &&
+				(mask&1 != 0 || mask&2 != 0) {
+				// A majority vector containing a decider must not
+				// return "?" — the decider's (v1, 2) dominates.
+				t.Fatalf("third=%v mask=%03b: returned ? with a decider present", third, mask)
+			}
+			if res.Out == Locked && res.Val != v1 {
+				t.Fatalf("third=%v mask=%03b: returned %v, v1 is locked", third, mask, res)
+			}
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package flv implements the FLV ("Find the Locked Value") functions of the
+// generic consensus algorithm: the class-1/2/3 instantiations (Algorithms 2,
+// 3 and 4 of the paper), the specialized variants used by the §5
+// instantiations (FaB Paxos, Paxos, PBFT) and the Ben-Or variant of §6.
+//
+// An FLV function examines the vector µ of selection-round messages and
+// returns either a specific value (when a value may be locked), "?" (any
+// value may be selected), or "null" (not enough information). Every
+// instantiation must satisfy three abstract properties:
+//
+//   - FLV-validity: a returned value v ∉ {?, null} appears as a vote in µ.
+//   - FLV-agreement: if v is locked, only v or null can be returned.
+//   - FLV-liveness: if µ contains a message from every correct process,
+//     null is not returned.
+package flv
+
+import (
+	"fmt"
+	"sort"
+
+	"genconsensus/internal/model"
+)
+
+// Outcome classifies the result of an FLV evaluation.
+type Outcome int
+
+const (
+	// Locked means a specific value was returned (it may be the locked
+	// value; FLV-agreement guarantees no other value is ever returned
+	// when some value is locked).
+	Locked Outcome = iota + 1
+	// Any is the "?" outcome: any value may be selected.
+	Any
+	// None is the "null" outcome: not enough information.
+	None
+)
+
+// String returns "v"/"?"/"null".
+func (o Outcome) String() string {
+	switch o {
+	case Locked:
+		return "v"
+	case Any:
+		return "?"
+	case None:
+		return "null"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result is the value returned by an FLV function. Val is meaningful only
+// when Out == Locked.
+type Result struct {
+	Out Outcome
+	Val model.Value
+}
+
+// String renders the result for traces and test failures.
+func (r Result) String() string {
+	if r.Out == Locked {
+		return string(r.Val)
+	}
+	return r.Out.String()
+}
+
+// Func is the FLV parameter of the generic algorithm. Eval inspects the
+// selection-round vector µ of the given phase. Implementations must be
+// deterministic: two processes with identical µ obtain identical results
+// (this is what makes Pcons rounds converge).
+type Func interface {
+	// Eval applies the function to the received vector.
+	Eval(mu model.Received, phase model.Phase) Result
+	// Name identifies the instantiation in traces and experiment tables.
+	Name() string
+}
+
+// support returns |{m' ∈ µ : m.Vote = m'.Vote ∨ m.TS > m'.TS}|, the count
+// used at line 1 of Algorithms 3 and 4: the number of received messages
+// consistent with m's vote having been validated at m's timestamp.
+func support(mu model.Received, m model.Message) int {
+	count := 0
+	for _, other := range mu {
+		if other.Vote == m.Vote || m.TS > other.TS {
+			count++
+		}
+	}
+	return count
+}
+
+// sortedValues returns the distinct keys of a value set in ascending order,
+// for deterministic iteration.
+func sortedValues(set map[model.Value]bool) []model.Value {
+	out := make([]model.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Class1 implements Algorithm 2, the FLV function for class-1 algorithms
+// (FLAG = *, TD > (n+3b+f)/2). Only the vote field of µ is inspected.
+//
+//	correctVotes ← {v : |{(v,-,-,-) ∈ µ}| > n-TD+b}
+//	if |correctVotes| = 1         → that value
+//	else if |µ| > 2(n-TD+b)       → ?
+//	else                          → null
+type Class1 struct {
+	n, td, b int
+}
+
+// NewClass1 returns Algorithm 2 configured for n processes, threshold td and
+// at most b Byzantine processes.
+func NewClass1(n, td, b int) *Class1 { return &Class1{n: n, td: td, b: b} }
+
+// NewFaB returns Algorithm 6: Algorithm 2 with TD = ⌈(n+3b+1)/2⌉, the FLV
+// function of FaB Paxos. With that TD the thresholds reduce to the paper's
+// (n-b-1)/2 and n-b-1 forms.
+func NewFaB(n, b int) *Class1 {
+	return &Class1{n: n, td: (n + 3*b + 1 + 1) / 2, b: b}
+}
+
+// Name implements Func.
+func (c *Class1) Name() string { return "flv/class1" }
+
+// Eval implements Func.
+func (c *Class1) Eval(mu model.Received, _ model.Phase) Result {
+	threshold := c.n - c.td + c.b
+	correct := make(map[model.Value]bool)
+	for v, count := range mu.VoteCounts() {
+		if count > threshold {
+			correct[v] = true
+		}
+	}
+	if len(correct) == 1 {
+		return Result{Out: Locked, Val: sortedValues(correct)[0]}
+	}
+	if len(mu) > 2*threshold {
+		return Result{Out: Any}
+	}
+	return Result{Out: None}
+}
+
+// Class2 implements Algorithm 3, the FLV function for class-2 algorithms
+// (FLAG = φ, TD > 3b+f). Votes and timestamps are inspected.
+//
+//	possibleVotes ← {# m ∈ µ : support(m) > n-TD+b #}      (multiset)
+//	correctVotes  ← {v : multiplicity of v in possibleVotes > b}
+//	if |correctVotes| = 1        → that value
+//	else if |µ| > n-TD+2b        → ?
+//	else                         → null
+type Class2 struct {
+	n, td, b int
+}
+
+// NewClass2 returns Algorithm 3 configured for n processes, threshold td and
+// at most b Byzantine processes.
+func NewClass2(n, td, b int) *Class2 { return &Class2{n: n, td: td, b: b} }
+
+// Name implements Func.
+func (c *Class2) Name() string { return "flv/class2" }
+
+// Eval implements Func.
+func (c *Class2) Eval(mu model.Received, _ model.Phase) Result {
+	threshold := c.n - c.td + c.b
+	// Multiplicity of each vote value among messages in possibleVotes.
+	possibleByValue := make(map[model.Value]int)
+	for _, m := range mu {
+		if m.Vote == model.NoValue {
+			continue
+		}
+		if support(mu, m) > threshold {
+			possibleByValue[m.Vote]++
+		}
+	}
+	correct := make(map[model.Value]bool)
+	for v, mult := range possibleByValue {
+		if mult > c.b {
+			correct[v] = true
+		}
+	}
+	if len(correct) == 1 {
+		return Result{Out: Locked, Val: sortedValues(correct)[0]}
+	}
+	if len(mu) > c.n-c.td+2*c.b {
+		return Result{Out: Any}
+	}
+	return Result{Out: None}
+}
+
+// Class3 implements Algorithm 4, the FLV function for class-3 algorithms
+// (FLAG = φ, TD > 2b+f). Votes, timestamps and histories are inspected; a
+// (vote, ts) pair counts as correct only when more than b received histories
+// contain it, proving at least one honest process logged the selection.
+//
+//	possibleVotes ← {m ∈ µ : support(m) > n-TD+b}
+//	correctVotes  ← {v : (v,ts) ∈ possibleVotes ∧
+//	                     |{m' ∈ µ : (v,ts) ∈ m'.history}| > b}
+//	if |correctVotes| = 1                       → that value
+//	else if |correctVotes| > 1                  → ?
+//	else if |{m ∈ µ : m.ts = 0}| > n-TD+b       → unanimity check / ?
+//	else                                        → null
+//
+// The unanimity check (lines 8-9, applied only when the Unanimity option is
+// set) returns v when a strict majority of µ votes v.
+type Class3 struct {
+	n, td, b  int
+	unanimity bool
+}
+
+// NewClass3 returns Algorithm 4 configured for n processes, threshold td, at
+// most b Byzantine processes. When unanimity is true, lines 8-9 of
+// Algorithm 4 are active (needed to satisfy the Unanimity property).
+func NewClass3(n, td, b int, unanimity bool) *Class3 {
+	return &Class3{n: n, td: td, b: b, unanimity: unanimity}
+}
+
+// NewPBFT returns Algorithm 8: the class-3 FLV with the unanimity lines
+// removed and the two "?" conditions merged, as used by the PBFT
+// instantiation (TD = 2b+1). It is behaviourally identical to
+// NewClass3(n, td, b, false).
+func NewPBFT(n, b int) *Class3 {
+	return &Class3{n: n, td: 2*b + 1, b: b, unanimity: false}
+}
+
+// Name implements Func.
+func (c *Class3) Name() string { return "flv/class3" }
+
+// Eval implements Func.
+func (c *Class3) Eval(mu model.Received, _ model.Phase) Result {
+	threshold := c.n - c.td + c.b
+	type pair struct {
+		v  model.Value
+		ts model.Phase
+	}
+	possible := make(map[pair]bool)
+	for _, m := range mu {
+		if m.Vote == model.NoValue {
+			continue
+		}
+		if support(mu, m) > threshold {
+			possible[pair{m.Vote, m.TS}] = true
+		}
+	}
+	correct := make(map[model.Value]bool)
+	for p := range possible {
+		backers := 0
+		for _, m := range mu {
+			if m.History.Contains(p.v, p.ts) {
+				backers++
+			}
+		}
+		if backers > c.b {
+			correct[p.v] = true
+		}
+	}
+	switch {
+	case len(correct) == 1:
+		return Result{Out: Locked, Val: sortedValues(correct)[0]}
+	case len(correct) > 1:
+		return Result{Out: Any}
+	}
+	tsZero := 0
+	for _, m := range mu {
+		if m.TS == 0 {
+			tsZero++
+		}
+	}
+	if tsZero > threshold {
+		if c.unanimity {
+			for v, count := range mu.VoteCounts() {
+				if 2*count > len(mu) {
+					return Result{Out: Locked, Val: v}
+				}
+			}
+		}
+		return Result{Out: Any}
+	}
+	return Result{Out: None}
+}
+
+// Paxos implements Algorithm 7: the benign-fault (b = 0) simplification of
+// the class-3 FLV used by the Paxos instantiation, with TD = ⌈(n+1)/2⌉.
+// Histories are unnecessary because with honest processes every message
+// satisfies (vote, ts) ∈ history, so possibleVotes = correctVotes.
+//
+//	possibleVotes ← {v : ∃ m ∈ µ with m.Vote=v, support(m) > n/2}
+//	if |possibleVotes| = 1  → that value
+//	else if |µ| > n/2       → ?
+//	else                    → null
+type Paxos struct {
+	n int
+}
+
+// NewPaxos returns Algorithm 7 for n processes.
+func NewPaxos(n int) *Paxos { return &Paxos{n: n} }
+
+// Name implements Func.
+func (c *Paxos) Name() string { return "flv/paxos" }
+
+// Eval implements Func.
+func (c *Paxos) Eval(mu model.Received, _ model.Phase) Result {
+	possible := make(map[model.Value]bool)
+	for _, m := range mu {
+		if m.Vote == model.NoValue {
+			continue
+		}
+		if 2*support(mu, m) > c.n {
+			possible[m.Vote] = true
+		}
+	}
+	if len(possible) == 1 {
+		return Result{Out: Locked, Val: sortedValues(possible)[0]}
+	}
+	if 2*len(mu) > c.n {
+		return Result{Out: Any}
+	}
+	return Result{Out: None}
+}
+
+// BenOr implements Algorithm 9: the FLV variant of the Ben-Or randomized
+// binary consensus algorithms (§6). It is a degenerate class-2 function that
+// relies on the Prel communication predicate holding in every round:
+//
+//	if b+1 messages ⟨v, φ-1, -⟩ received  → v
+//	else                                  → ?
+//
+// It never returns null, which is exactly the stronger FLV-liveness property
+// randomized algorithms require.
+type BenOr struct {
+	b int
+}
+
+// NewBenOr returns Algorithm 9 tolerating b Byzantine processes (use b = 0
+// for the benign variant).
+func NewBenOr(b int) *BenOr { return &BenOr{b: b} }
+
+// Name implements Func.
+func (c *BenOr) Name() string { return "flv/ben-or" }
+
+// Eval implements Func.
+func (c *BenOr) Eval(mu model.Received, phase model.Phase) Result {
+	counts := make(map[model.Value]int)
+	for _, m := range mu {
+		if m.Vote != model.NoValue && m.TS == phase-1 {
+			counts[m.Vote]++
+		}
+	}
+	matched := make(map[model.Value]bool)
+	for v, count := range counts {
+		if count >= c.b+1 {
+			matched[v] = true
+		}
+	}
+	if len(matched) >= 1 {
+		// With Prel and honest majorities at most one value can reach
+		// b+1 validated copies; pick deterministically regardless.
+		return Result{Out: Locked, Val: sortedValues(matched)[0]}
+	}
+	return Result{Out: Any}
+}

@@ -1,0 +1,117 @@
+// Package kv is a replicated key-value store: the application layer of the
+// SMR examples. Commands are strings "reqID|OP|key[|value]" with OP in
+// {SET, DEL}; reads are served locally. Request IDs deduplicate client
+// retries (at-most-once semantics).
+package kv
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"genconsensus/internal/model"
+)
+
+// Store is the deterministic state machine: a string map plus the
+// duplicate-suppression table.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string]string
+	applied map[string]string // reqID → response
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		data:    make(map[string]string),
+		applied: make(map[string]string),
+	}
+}
+
+// Command formats an SMR command. value is ignored for DEL.
+func Command(reqID, op, key, value string) model.Value {
+	if strings.EqualFold(op, "DEL") {
+		return model.Value(fmt.Sprintf("%s|DEL|%s", reqID, key))
+	}
+	return model.Value(fmt.Sprintf("%s|SET|%s|%s", reqID, key, value))
+}
+
+// Apply implements smr.StateMachine.
+func (s *Store) Apply(cmd model.Value) string {
+	reqID, op, key, value, err := Parse(cmd)
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if resp, done := s.applied[reqID]; done {
+		return resp // duplicate client retry
+	}
+	var resp string
+	switch op {
+	case "SET":
+		s.data[key] = value
+		resp = "OK"
+	case "DEL":
+		if _, ok := s.data[key]; ok {
+			delete(s.data, key)
+			resp = "OK"
+		} else {
+			resp = "NOTFOUND"
+		}
+	}
+	s.applied[reqID] = resp
+	return resp
+}
+
+// Parse splits a command into its fields.
+func Parse(cmd model.Value) (reqID, op, key, value string, err error) {
+	parts := strings.Split(string(cmd), "|")
+	if len(parts) < 3 {
+		return "", "", "", "", fmt.Errorf("kv: malformed command %q", cmd)
+	}
+	reqID, op, key = parts[0], strings.ToUpper(parts[1]), parts[2]
+	switch op {
+	case "SET":
+		if len(parts) != 4 {
+			return "", "", "", "", fmt.Errorf("kv: SET needs a value: %q", cmd)
+		}
+		value = parts[3]
+	case "DEL":
+		if len(parts) != 3 {
+			return "", "", "", "", fmt.Errorf("kv: DEL takes no value: %q", cmd)
+		}
+	default:
+		return "", "", "", "", fmt.Errorf("kv: unknown op %q", op)
+	}
+	if reqID == "" || key == "" {
+		return "", "", "", "", fmt.Errorf("kv: empty reqID or key: %q", cmd)
+	}
+	return reqID, op, key, value, nil
+}
+
+// Get serves a local read.
+func (s *Store) Get(key string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Snapshot copies the live data.
+func (s *Store) Snapshot() map[string]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]string, len(s.data))
+	for k, v := range s.data {
+		out[k] = v
+	}
+	return out
+}

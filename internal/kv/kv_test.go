@@ -1,0 +1,127 @@
+package kv
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"genconsensus/internal/model"
+)
+
+func TestCommandFormat(t *testing.T) {
+	if got := Command("r1", "SET", "k", "v"); got != "r1|SET|k|v" {
+		t.Errorf("Command = %q", got)
+	}
+	if got := Command("r2", "del", "k", "ignored"); got != "r2|DEL|k" {
+		t.Errorf("DEL Command = %q", got)
+	}
+}
+
+func TestApplySetGetDel(t *testing.T) {
+	s := NewStore()
+	if resp := s.Apply(Command("1", "SET", "a", "x")); resp != "OK" {
+		t.Errorf("SET resp = %q", resp)
+	}
+	if v, ok := s.Get("a"); !ok || v != "x" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if resp := s.Apply(Command("2", "DEL", "a", "")); resp != "OK" {
+		t.Errorf("DEL resp = %q", resp)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Error("key survived DEL")
+	}
+	if resp := s.Apply(Command("3", "DEL", "missing", "")); resp != "NOTFOUND" {
+		t.Errorf("DEL missing resp = %q", resp)
+	}
+}
+
+func TestApplyDeduplicates(t *testing.T) {
+	s := NewStore()
+	cmd := Command("same-req", "SET", "k", "first")
+	if resp := s.Apply(cmd); resp != "OK" {
+		t.Fatalf("first apply = %q", resp)
+	}
+	s.data["k"] = "changed-out-of-band"
+	// A retry with the same reqID returns the recorded response and does
+	// not re-execute.
+	if resp := s.Apply(cmd); resp != "OK" {
+		t.Errorf("retry apply = %q", resp)
+	}
+	if v, _ := s.Get("k"); v != "changed-out-of-band" {
+		t.Error("duplicate was re-executed")
+	}
+}
+
+func TestApplyMalformed(t *testing.T) {
+	s := NewStore()
+	bad := []string{
+		"",
+		"only",
+		"a|b",
+		"r|SET|k",       // missing value
+		"r|DEL|k|extra", // extra value
+		"r|UNKNOWN|k|v", // unknown op
+		"|SET|k|v",      // empty reqID
+		"r|SET||v",      // empty key
+	}
+	for _, cmd := range bad {
+		resp := s.Apply(model.Value(cmd))
+		if !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("Apply(%q) = %q, want ERR*", cmd, resp)
+		}
+	}
+	if s.Len() != 0 {
+		t.Error("malformed commands mutated the store")
+	}
+}
+
+func TestParse(t *testing.T) {
+	req, op, key, val, err := Parse("r9|set|color|blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req != "r9" || op != "SET" || key != "color" || val != "blue" {
+		t.Errorf("Parse = %q %q %q %q", req, op, key, val)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewStore()
+	s.Apply(Command("1", "SET", "a", "1"))
+	snap := s.Snapshot()
+	snap["a"] = "mutated"
+	if v, _ := s.Get("a"); v != "1" {
+		t.Error("Snapshot aliases store data")
+	}
+}
+
+// Property: SET then GET round-trips arbitrary printable keys and values
+// without separator collisions (keys/values free of '|').
+func TestSetGetProperty(t *testing.T) {
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if r == '|' || r < ' ' {
+				return 'x'
+			}
+			return r
+		}, s)
+	}
+	prop := func(rawK, rawV string) bool {
+		k := clean(rawK)
+		v := clean(rawV)
+		if k == "" {
+			k = "k"
+		}
+		s := NewStore()
+		s.Apply(Command("r", "SET", k, v))
+		got, ok := s.Get(k)
+		return ok && got == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

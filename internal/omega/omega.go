@@ -1,0 +1,129 @@
+// Package omega implements an Ω leader-election oracle from message
+// observations: the "leader election function used in [11]" that the paper
+// names as a Selector instantiation for Paxos (§4.2).
+//
+// Each process owns a Detector fed with the sender sets of the vectors it
+// receives. A process is trusted while it has been heard from within the
+// suspicion window; the elected leader is the smallest trusted process.
+// During good periods all correct processes hear the same senders, so their
+// detectors converge on the same correct leader — exactly the
+// Selector-liveness property (SL1 + SL3 for singleton selectors with b=0).
+//
+// Because each process consults its own detector, the resulting Selector is
+// NOT fixed: the generic algorithm transmits proposed validator sets and
+// reconstructs them with the thresholds of lines 15 and 21 of Algorithm 1 —
+// this package is what exercises that path end to end.
+package omega
+
+import (
+	"genconsensus/internal/core"
+	"genconsensus/internal/model"
+	"genconsensus/internal/round"
+)
+
+// Detector is a per-process eventual leader detector. It is not safe for
+// concurrent use; in the lock-step simulator each process owns one.
+type Detector struct {
+	n        int
+	window   model.Round
+	lastSeen map[model.PID]model.Round
+	now      model.Round
+}
+
+// NewDetector returns a detector for n processes that suspects processes
+// not heard from within window rounds. Every process starts trusted.
+func NewDetector(n int, window model.Round) *Detector {
+	d := &Detector{
+		n:        n,
+		window:   window,
+		lastSeen: make(map[model.PID]model.Round, n),
+	}
+	for _, p := range model.AllPIDs(n) {
+		d.lastSeen[p] = 0
+	}
+	return d
+}
+
+// Observe feeds the senders of a received vector at the given round.
+func (d *Detector) Observe(r model.Round, mu model.Received) {
+	if r > d.now {
+		d.now = r
+	}
+	for q := range mu {
+		if r > d.lastSeen[q] {
+			d.lastSeen[q] = r
+		}
+	}
+}
+
+// Trusts reports whether q is currently trusted.
+func (d *Detector) Trusts(q model.PID) bool {
+	return d.now-d.lastSeen[q] <= d.window
+}
+
+// Leader returns the smallest trusted process (falling back to process 0 if
+// everything is suspected, which keeps the oracle total).
+func (d *Detector) Leader() model.PID {
+	for _, p := range model.AllPIDs(d.n) {
+		if d.Trusts(p) {
+			return p
+		}
+	}
+	return 0
+}
+
+// Selector adapts a Detector to the Selector interface. It is not Fixed:
+// different processes may (transiently) elect different leaders, so the
+// generic algorithm's set-agreement machinery (lines 15/21) is in play.
+type Selector struct {
+	det *Detector
+}
+
+// NewSelector wraps a detector.
+func NewSelector(det *Detector) *Selector { return &Selector{det: det} }
+
+// Select implements selector.Selector: the current leader, as a singleton.
+func (s *Selector) Select(model.PID, model.Phase) []model.PID {
+	return []model.PID{s.det.Leader()}
+}
+
+// Fixed implements selector.Selector.
+func (s *Selector) Fixed() bool { return false }
+
+// Name implements selector.Selector.
+func (s *Selector) Name() string { return "selector/omega" }
+
+// Proc wraps a core.Process so that every received vector also feeds the
+// process's failure detector.
+type Proc struct {
+	inner *core.Process
+	det   *Detector
+}
+
+var _ round.Proc = (*Proc)(nil)
+
+// NewProc pairs a consensus process with its detector.
+func NewProc(inner *core.Process, det *Detector) *Proc {
+	return &Proc{inner: inner, det: det}
+}
+
+// ID implements round.Proc.
+func (p *Proc) ID() model.PID { return p.inner.ID() }
+
+// Send implements round.Proc.
+func (p *Proc) Send(r model.Round) map[model.PID]model.Message { return p.inner.Send(r) }
+
+// Transition implements round.Proc: observe, then run the algorithm.
+func (p *Proc) Transition(r model.Round, mu model.Received) {
+	p.det.Observe(r, mu)
+	p.inner.Transition(r, mu)
+}
+
+// Decided implements round.Proc.
+func (p *Proc) Decided() (model.Value, bool) { return p.inner.Decided() }
+
+// DecidedAt forwards the decision round.
+func (p *Proc) DecidedAt() model.Round { return p.inner.DecidedAt() }
+
+// Inner exposes the wrapped process for white-box assertions.
+func (p *Proc) Inner() *core.Process { return p.inner }

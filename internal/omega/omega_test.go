@@ -1,0 +1,196 @@
+package omega
+
+import (
+	"testing"
+
+	"genconsensus/internal/core"
+	"genconsensus/internal/flv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/round"
+	"genconsensus/internal/sim"
+)
+
+func TestDetectorBasics(t *testing.T) {
+	d := NewDetector(3, 2)
+	// Initially everyone is trusted and 0 leads.
+	if !d.Trusts(0) || !d.Trusts(2) {
+		t.Fatal("fresh detector must trust everyone")
+	}
+	if d.Leader() != 0 {
+		t.Fatalf("initial leader = %d", d.Leader())
+	}
+	// Rounds pass without hearing from 0: suspicion after the window.
+	d.Observe(1, model.Received{1: {}, 2: {}})
+	d.Observe(2, model.Received{1: {}, 2: {}})
+	d.Observe(3, model.Received{1: {}, 2: {}})
+	if d.Trusts(0) {
+		t.Fatal("process 0 still trusted after window expiry")
+	}
+	if d.Leader() != 1 {
+		t.Fatalf("leader = %d, want 1", d.Leader())
+	}
+	// Hearing from 0 again restores trust.
+	d.Observe(4, model.Received{0: {}})
+	if !d.Trusts(0) || d.Leader() != 0 {
+		t.Fatal("process 0 not rehabilitated")
+	}
+}
+
+func TestDetectorTotalFallback(t *testing.T) {
+	d := NewDetector(2, 1)
+	d.Observe(5, model.Received{})
+	if d.Leader() != 0 {
+		t.Fatalf("fallback leader = %d, want 0", d.Leader())
+	}
+}
+
+func TestSelectorShape(t *testing.T) {
+	d := NewDetector(3, 2)
+	s := NewSelector(d)
+	if s.Fixed() {
+		t.Fatal("omega selector must not be Fixed")
+	}
+	if s.Name() != "selector/omega" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	set := s.Select(1, 4)
+	if len(set) != 1 || set[0] != 0 {
+		t.Fatalf("Select = %v", set)
+	}
+}
+
+// buildOmegaPaxos wires n Paxos processes with per-process detectors; the
+// selector is non-fixed, so the full line-15/21 set-agreement machinery of
+// Algorithm 1 runs.
+func buildOmegaPaxos(t *testing.T, n, f int) (map[model.PID]round.Proc, map[model.PID]model.Value, []*Detector) {
+	t.Helper()
+	procs := map[model.PID]round.Proc{}
+	inits := map[model.PID]model.Value{}
+	dets := make([]*Detector, n)
+	vals := []model.Value{"c", "a", "b"}
+	for i := 0; i < n; i++ {
+		p := model.PID(i)
+		det := NewDetector(n, 4) // window > rounds per phase
+		dets[i] = det
+		params := core.Params{
+			N: n, B: 0, F: f, TD: n/2 + 1,
+			Flag:     model.FlagPhase,
+			FLV:      flv.NewPaxos(n),
+			Selector: NewSelector(det),
+		}
+		inner, err := core.NewProcess(p, vals[i%len(vals)], params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inits[p] = vals[i%len(vals)]
+		procs[p] = NewProc(inner, det)
+	}
+	return procs, inits, dets
+}
+
+func runOmega(t *testing.T, n, f int, procs map[model.PID]round.Proc, inits map[model.PID]model.Value,
+	crashes map[model.PID]sim.CrashPlan, maxRounds int) sim.Result {
+	t.Helper()
+	sched := core.Schedule{Flag: model.FlagPhase}
+	e, err := sim.New(sim.Config{
+		Params:    core.Params{N: n, B: 0, F: f},
+		Inits:     inits,
+		Procs:     procs,
+		Sched:     &sched,
+		Crashes:   crashes,
+		Seed:      2,
+		MaxRounds: maxRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run()
+}
+
+// Fault-free: everyone trusts process 0, which coordinates phase 1 to a
+// decision in one 3-round phase — through the non-fixed selector path.
+func TestOmegaPaxosFaultFree(t *testing.T) {
+	n, f := 3, 1
+	procs, inits, _ := buildOmegaPaxos(t, n, f)
+	res := runOmega(t, n, f, procs, inits, nil, 0)
+	if !res.AllDecided {
+		t.Fatalf("no decision in %d rounds", res.Rounds)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", res.Rounds)
+	}
+}
+
+// A dead initial leader: detectors time it out, elect process 1, and the
+// survivors decide — Ω convergence end to end.
+func TestOmegaPaxosLeaderCrash(t *testing.T) {
+	n, f := 3, 1
+	procs, inits, dets := buildOmegaPaxos(t, n, f)
+	crashes := map[model.PID]sim.CrashPlan{0: {Round: 1}}
+	res := runOmega(t, n, f, procs, inits, crashes, 120)
+	if !res.AllDecided {
+		t.Fatalf("survivors did not decide in %d rounds", res.Rounds)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	// Survivors' detectors must have converged away from process 0.
+	for i := 1; i < n; i++ {
+		if dets[i].Trusts(0) {
+			t.Errorf("detector %d still trusts the crashed leader", i)
+		}
+		if got := dets[i].Leader(); got != 1 {
+			t.Errorf("detector %d leader = %d, want 1", i, got)
+		}
+	}
+	if res.Rounds <= 3 {
+		t.Errorf("rounds = %d: suspiciously fast with a dead leader", res.Rounds)
+	}
+}
+
+// Non-leader crash: the leader stays, the system decides normally.
+func TestOmegaPaxosFollowerCrash(t *testing.T) {
+	n, f := 3, 1
+	procs, inits, _ := buildOmegaPaxos(t, n, f)
+	crashes := map[model.PID]sim.CrashPlan{2: {Round: 2}}
+	res := runOmega(t, n, f, procs, inits, crashes, 120)
+	if !res.AllDecided {
+		t.Fatalf("no decision in %d rounds", res.Rounds)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+// Five processes, two crashes (n > 2f), late good phase: Ω still converges
+// under message loss once the network stabilizes.
+func TestOmegaPaxosLossyNetwork(t *testing.T) {
+	n, f := 5, 2
+	procs, inits, _ := buildOmegaPaxos(t, n, f)
+	crashes := map[model.PID]sim.CrashPlan{0: {Round: 1}, 3: {Round: 4}}
+	sched := core.Schedule{Flag: model.FlagPhase}
+	e, err := sim.New(sim.Config{
+		Params:    core.Params{N: n, B: 0, F: f},
+		Inits:     inits,
+		Procs:     procs,
+		Sched:     &sched,
+		Crashes:   crashes,
+		Modes:     sim.GoodFromPhase(sched, 3),
+		Drop:      sim.RandomDrop{P: 0.5},
+		Seed:      11,
+		MaxRounds: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if !res.AllDecided {
+		t.Fatalf("no decision in %d rounds", res.Rounds)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}

@@ -1,0 +1,39 @@
+// Package round defines the closed-round computation model of §2.1: in each
+// round r a process sends messages according to a sending function S_p^r and,
+// at the end of the round, computes a new state with a transition function
+// T_p^r applied to the vector of messages received in that same round.
+//
+// The package only fixes the contract between processes and runtimes; the
+// in-memory simulator (internal/sim) and the TCP runtime
+// (internal/transport) both drive implementations of Proc.
+package round
+
+import "genconsensus/internal/model"
+
+// Proc is a process in the round model. Implementations must be pure state
+// machines: no goroutines, no clocks; all nondeterminism (coin flips) is
+// injected via seeded sources at construction.
+type Proc interface {
+	// ID returns the process identifier.
+	ID() model.PID
+	// Send returns the messages to send in round r, keyed by destination.
+	// A nil or empty map means the process sends nothing. Honest
+	// processes send the same content to every destination; Byzantine
+	// implementations may equivocate.
+	Send(r model.Round) map[model.PID]model.Message
+	// Transition consumes the vector of messages received in round r
+	// (closed rounds: only round-r messages appear) and updates state.
+	Transition(r model.Round, mu model.Received)
+	// Decided reports the decision value once the process has decided.
+	Decided() (model.Value, bool)
+}
+
+// Broadcast builds a Send result carrying the same message to every
+// destination in dests.
+func Broadcast(msg model.Message, dests []model.PID) map[model.PID]model.Message {
+	out := make(map[model.PID]model.Message, len(dests))
+	for _, d := range dests {
+		out[d] = msg
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package selector implements the Selector(p, φ) parameter of the generic
+// consensus algorithm: the function each process uses to propose the set of
+// validators for a phase.
+//
+// A Selector must satisfy (§3.2):
+//
+//   - Selector-validity: a non-empty Selector(p, φ) has more than b members
+//     (strongValidity: more than 3b+2f members, required by class-3
+//     FLV-liveness).
+//   - Selector-liveness: in some good phase φ0 all correct processes propose
+//     the same set (SL1), containing ≥ TD correct processes when FLAG = *
+//     (SL2), or > (|S|+b)/2 correct processes when FLAG = φ (SL3).
+package selector
+
+import (
+	"fmt"
+
+	"genconsensus/internal/model"
+)
+
+// Selector is the Selector(p, φ) parameter. Implementations must be
+// deterministic functions of (p, φ).
+type Selector interface {
+	// Select returns p's proposal for the validator set of phase φ.
+	Select(p model.PID, phase model.Phase) []model.PID
+	// Fixed reports whether the same set is returned for every process
+	// and phase, enabling the §3.1 optimization that omits the set from
+	// selection/validation messages and skips line 21.
+	Fixed() bool
+	// Name identifies the instantiation in traces.
+	Name() string
+}
+
+// All returns the trivial instantiation Selector(p, φ) = Π used by all the
+// Byzantine algorithms of §5 (FaB Paxos, MQB, PBFT) and by OneThirdRule.
+type All struct {
+	n int
+}
+
+// NewAll returns the whole-Π selector for n processes.
+func NewAll(n int) *All { return &All{n: n} }
+
+// Select implements Selector.
+func (s *All) Select(model.PID, model.Phase) []model.PID { return model.AllPIDs(s.n) }
+
+// Fixed implements Selector.
+func (s *All) Fixed() bool { return true }
+
+// Name implements Selector.
+func (s *All) Name() string { return "selector/all" }
+
+// RotatingCoordinator returns the single process {φ mod n}: the rotating
+// coordinator of Chandra-Toueg, usable only with benign faults (b = 0),
+// where a singleton set satisfies Selector-validity (|S| > b = 0).
+type RotatingCoordinator struct {
+	n int
+}
+
+// NewRotatingCoordinator returns the rotating single-coordinator selector.
+func NewRotatingCoordinator(n int) *RotatingCoordinator {
+	return &RotatingCoordinator{n: n}
+}
+
+// Select implements Selector. Phase 1 maps to process 0.
+func (s *RotatingCoordinator) Select(_ model.PID, phase model.Phase) []model.PID {
+	return []model.PID{model.PID(int(phase-1) % s.n)}
+}
+
+// Fixed implements Selector: the set varies per phase, but not per process,
+// and is computable locally from φ alone — the optimization still applies.
+func (s *RotatingCoordinator) Fixed() bool { return true }
+
+// Name implements Selector.
+func (s *RotatingCoordinator) Name() string { return "selector/rotating-coordinator" }
+
+// RotatingSubset returns a deterministic window of size k starting at
+// (φ-1) mod n: the alternative Byzantine instantiation mentioned in §4.2
+// ("the same set S of b+1 processes at every process, with S being different
+// in every phase"). k must exceed b (Selector-validity); use k > 3b+2f for
+// class-3 algorithms (Selector-strongValidity).
+type RotatingSubset struct {
+	n, k int
+}
+
+// NewRotatingSubset returns the rotating k-subset selector.
+func NewRotatingSubset(n, k int) (*RotatingSubset, error) {
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("selector: subset size %d out of range (0, %d]", k, n)
+	}
+	return &RotatingSubset{n: n, k: k}, nil
+}
+
+// Select implements Selector.
+func (s *RotatingSubset) Select(_ model.PID, phase model.Phase) []model.PID {
+	out := make([]model.PID, s.k)
+	start := int(phase-1) % s.n
+	for i := 0; i < s.k; i++ {
+		out[i] = model.PID((start + i) % s.n)
+	}
+	return out
+}
+
+// Fixed implements Selector (same reasoning as RotatingCoordinator).
+func (s *RotatingSubset) Fixed() bool { return true }
+
+// Name implements Selector.
+func (s *RotatingSubset) Name() string { return "selector/rotating-subset" }
+
+// Leader wraps an external leader-election oracle (Ω) as used by Paxos: all
+// processes follow the oracle's current leader for the phase. The oracle is
+// a function so tests and runtimes can steer it; it must converge for
+// liveness (all correct processes eventually agree on a correct leader).
+type Leader struct {
+	oracle func(phase model.Phase) model.PID
+}
+
+// NewLeader returns a leader-election selector driven by oracle.
+func NewLeader(oracle func(phase model.Phase) model.PID) *Leader {
+	return &Leader{oracle: oracle}
+}
+
+// NewStableLeader returns a Leader that always elects the given process,
+// modelling a stable Ω oracle.
+func NewStableLeader(leader model.PID) *Leader {
+	return &Leader{oracle: func(model.Phase) model.PID { return leader }}
+}
+
+// Select implements Selector.
+func (s *Leader) Select(_ model.PID, phase model.Phase) []model.PID {
+	return []model.PID{s.oracle(phase)}
+}
+
+// Fixed implements Selector: the oracle is shared by construction in this
+// implementation, so the set does not vary per process.
+func (s *Leader) Fixed() bool { return true }
+
+// Name implements Selector.
+func (s *Leader) Name() string { return "selector/leader" }
+
+// CheckValidity reports whether sel satisfies Selector-validity for b (and,
+// when strong is set, Selector-strongValidity for b, f) over the first
+// maxPhase phases for every process in 0..n-1.
+func CheckValidity(sel Selector, n, b, f, maxPhase int, strong bool) error {
+	min := b
+	if strong {
+		min = 3*b + 2*f
+	}
+	for p := 0; p < n; p++ {
+		for phase := 1; phase <= maxPhase; phase++ {
+			s := sel.Select(model.PID(p), model.Phase(phase))
+			if len(s) == 0 {
+				continue
+			}
+			if len(s) <= min {
+				return fmt.Errorf("selector %s: |S|=%d ≤ %d at p=%d φ=%d",
+					sel.Name(), len(s), min, p, phase)
+			}
+		}
+	}
+	return nil
+}

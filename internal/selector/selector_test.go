@@ -1,0 +1,211 @@
+package selector
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"genconsensus/internal/model"
+)
+
+func TestAll(t *testing.T) {
+	s := NewAll(4)
+	want := []model.PID{0, 1, 2, 3}
+	for p := 0; p < 4; p++ {
+		for phase := 1; phase <= 5; phase++ {
+			got := s.Select(model.PID(p), model.Phase(phase))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("Select(%d, %d) = %v, want %v", p, phase, got, want)
+			}
+		}
+	}
+	if !s.Fixed() {
+		t.Error("All must be Fixed")
+	}
+	if s.Name() != "selector/all" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestRotatingCoordinator(t *testing.T) {
+	s := NewRotatingCoordinator(3)
+	tests := []struct {
+		phase model.Phase
+		want  model.PID
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 0}, {7, 0},
+	}
+	for _, tt := range tests {
+		got := s.Select(0, tt.phase)
+		if len(got) != 1 || got[0] != tt.want {
+			t.Errorf("Select(_, %d) = %v, want [%d]", tt.phase, got, tt.want)
+		}
+	}
+	if !s.Fixed() {
+		t.Error("RotatingCoordinator must be Fixed")
+	}
+	// Every process proposes the same coordinator (SL1 holds in every
+	// phase, not just eventually).
+	for p := 0; p < 3; p++ {
+		if got := s.Select(model.PID(p), 2); got[0] != 1 {
+			t.Errorf("process %d proposes %v in phase 2", p, got)
+		}
+	}
+}
+
+// Rotation guarantees Selector-liveness: within n consecutive phases every
+// process coordinates at least once, so a correct one is eventually chosen.
+func TestRotatingCoordinatorCoversAll(t *testing.T) {
+	n := 5
+	s := NewRotatingCoordinator(n)
+	seen := map[model.PID]bool{}
+	for phase := 1; phase <= n; phase++ {
+		seen[s.Select(0, model.Phase(phase))[0]] = true
+	}
+	if len(seen) != n {
+		t.Errorf("rotation covered %d of %d processes", len(seen), n)
+	}
+}
+
+func TestRotatingSubset(t *testing.T) {
+	s, err := NewRotatingSubset(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Select(0, 1)
+	if !reflect.DeepEqual(got, []model.PID{0, 1}) {
+		t.Errorf("Select(_, 1) = %v, want [0 1]", got)
+	}
+	got = s.Select(0, 5)
+	if !reflect.DeepEqual(got, []model.PID{4, 0}) {
+		t.Errorf("Select(_, 5) = %v, want [4 0] (wraps)", got)
+	}
+	if !s.Fixed() {
+		t.Error("RotatingSubset must be Fixed")
+	}
+	if s.Name() != "selector/rotating-subset" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestRotatingSubsetValidation(t *testing.T) {
+	if _, err := NewRotatingSubset(5, 0); err == nil {
+		t.Error("size 0 must be rejected")
+	}
+	if _, err := NewRotatingSubset(5, 6); err == nil {
+		t.Error("size > n must be rejected")
+	}
+}
+
+func TestStableLeader(t *testing.T) {
+	s := NewStableLeader(2)
+	for phase := 1; phase <= 4; phase++ {
+		got := s.Select(0, model.Phase(phase))
+		if len(got) != 1 || got[0] != 2 {
+			t.Errorf("Select(_, %d) = %v, want [2]", phase, got)
+		}
+	}
+	if !s.Fixed() {
+		t.Error("Leader must be Fixed")
+	}
+}
+
+func TestLeaderOracle(t *testing.T) {
+	s := NewLeader(func(phase model.Phase) model.PID {
+		if phase < 3 {
+			return 0 // suspected later
+		}
+		return 1
+	})
+	if got := s.Select(0, 1)[0]; got != 0 {
+		t.Errorf("phase 1 leader = %d, want 0", got)
+	}
+	if got := s.Select(0, 3)[0]; got != 1 {
+		t.Errorf("phase 3 leader = %d, want 1", got)
+	}
+	if s.Name() != "selector/leader" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestCheckValidity(t *testing.T) {
+	// Π with n=4 satisfies validity for b=1 and strong validity for
+	// b=1, f=0 (|S| = 4 > 3b+2f = 3).
+	if err := CheckValidity(NewAll(4), 4, 1, 0, 6, false); err != nil {
+		t.Errorf("All n=4 b=1: %v", err)
+	}
+	if err := CheckValidity(NewAll(4), 4, 1, 0, 6, true); err != nil {
+		t.Errorf("All n=4 b=1 strong: %v", err)
+	}
+	// Singleton coordinator fails validity as soon as b ≥ 1.
+	if err := CheckValidity(NewRotatingCoordinator(4), 4, 1, 0, 6, false); err == nil {
+		t.Error("singleton selector must fail validity with b=1")
+	}
+	// ... but is fine with b = 0.
+	if err := CheckValidity(NewRotatingCoordinator(4), 4, 0, 1, 6, false); err != nil {
+		t.Errorf("singleton selector b=0: %v", err)
+	}
+	// b+1-sized rotating subset passes plain validity but not strong.
+	sub, err := NewRotatingSubset(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckValidity(sub, 5, 1, 0, 6, false); err != nil {
+		t.Errorf("subset size b+1: %v", err)
+	}
+	if err := CheckValidity(sub, 5, 1, 0, 6, true); err == nil {
+		t.Error("subset size b+1 must fail strong validity for b=1")
+	}
+}
+
+// Property: all built-in selectors satisfy SL1 in every phase (they are
+// process-independent): Select(p, φ) = Select(q, φ).
+func TestSL1Property(t *testing.T) {
+	n := 7
+	sub, err := NewRotatingSubset(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels := []Selector{NewAll(n), NewRotatingCoordinator(n), sub, NewStableLeader(3)}
+	prop := func(pRaw, qRaw, phaseRaw uint8) bool {
+		p := model.PID(pRaw % uint8(n))
+		q := model.PID(qRaw % uint8(n))
+		phase := model.Phase(1 + phaseRaw%50)
+		for _, s := range sels {
+			if !reflect.DeepEqual(s.Select(p, phase), s.Select(q, phase)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rotating subset always returns exactly k distinct members in Π.
+func TestRotatingSubsetWellFormedProperty(t *testing.T) {
+	prop := func(nRaw, kRaw, phaseRaw uint8) bool {
+		n := 2 + int(nRaw%9)
+		k := 1 + int(kRaw)%n
+		s, err := NewRotatingSubset(n, k)
+		if err != nil {
+			return false
+		}
+		set := s.Select(0, model.Phase(1+phaseRaw%30))
+		if len(set) != k {
+			return false
+		}
+		seen := map[model.PID]bool{}
+		for _, p := range set {
+			if p < 0 || int(p) >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"genconsensus/internal/core"
+	"genconsensus/internal/flv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/selector"
+)
+
+// Engine throughput: full PBFT decisions as the cluster grows with
+// b = ⌊(n-1)/3⌋ (the n² message complexity dominates).
+func BenchmarkEngineScaling(b *testing.B) {
+	for _, n := range []int{4, 7, 13, 19, 31} {
+		n := n
+		byz := (n - 1) / 3
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			params := core.Params{
+				N: n, B: byz, F: 0, TD: 2*byz + 1,
+				Flag:       model.FlagPhase,
+				FLV:        flv.NewPBFT(n, byz),
+				Selector:   selector.NewAll(n),
+				UseHistory: true,
+			}
+			inits := map[model.PID]model.Value{}
+			for i := 0; i < n; i++ {
+				inits[model.PID(i)] = model.Value([]string{"a", "b"}[i%2])
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e, err := New(Config{Params: params, Inits: inits, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := e.Run()
+				if !res.AllDecided || len(res.Violations) > 0 {
+					b.Fatalf("n=%d: failed run", n)
+				}
+			}
+		})
+	}
+}
+
+// Single-round cost under each delivery mode at n = 13.
+func BenchmarkDeliveryModes(b *testing.B) {
+	n, byz := 13, 4
+	params := core.Params{
+		N: n, B: byz, F: 0, TD: 2*byz + 1,
+		Flag:       model.FlagPhase,
+		FLV:        flv.NewPBFT(n, byz),
+		Selector:   selector.NewAll(n),
+		UseHistory: true,
+	}
+	inits := map[model.PID]model.Value{}
+	for i := 0; i < n; i++ {
+		inits[model.PID(i)] = "v"
+	}
+	for _, mode := range []Mode{ModeCons, ModeGood, ModeRel, ModeBad} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			e, err := New(Config{
+				Params:    params,
+				Inits:     inits,
+				Modes:     func(model.Round, model.RoundKind) Mode { return mode },
+				Seed:      1,
+				MaxRounds: 1 << 30,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !e.Step() {
+					b.Fatal("round budget exhausted")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,576 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"genconsensus/internal/adversary"
+	"genconsensus/internal/core"
+	"genconsensus/internal/flv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/selector"
+)
+
+// Test parameterizations mirroring the §5 instantiations.
+
+func pbftParams() core.Params {
+	return core.Params{
+		N: 4, B: 1, F: 0, TD: 3,
+		Flag:       model.FlagPhase,
+		FLV:        flv.NewPBFT(4, 1),
+		Selector:   selector.NewAll(4),
+		UseHistory: true,
+	}
+}
+
+func mqbParams() core.Params {
+	return core.Params{
+		N: 5, B: 1, F: 0, TD: 4,
+		Flag:     model.FlagPhase,
+		FLV:      flv.NewClass2(5, 4, 1),
+		Selector: selector.NewAll(5),
+	}
+}
+
+func otrParams() core.Params {
+	return core.Params{
+		N: 4, B: 0, F: 1, TD: 3,
+		Flag:     model.FlagStar,
+		FLV:      flv.NewClass1(4, 3, 0),
+		Selector: selector.NewAll(4),
+		Chooser:  core.MostOftenChooser{},
+		Merged:   true,
+	}
+}
+
+func paxosParams() core.Params {
+	return core.Params{
+		N: 3, B: 0, F: 1, TD: 2,
+		Flag:     model.FlagPhase,
+		FLV:      flv.NewPaxos(3),
+		Selector: selector.NewRotatingCoordinator(3),
+	}
+}
+
+func fabParams() core.Params {
+	return core.Params{
+		N: 6, B: 1, F: 0, TD: 5,
+		Flag:     model.FlagStar,
+		FLV:      flv.NewFaB(6, 1),
+		Selector: selector.NewAll(6),
+	}
+}
+
+func inits(vals ...model.Value) map[model.PID]model.Value {
+	out := make(map[model.PID]model.Value, len(vals))
+	for i, v := range vals {
+		out[model.PID(i)] = v
+	}
+	return out
+}
+
+func mustRun(t *testing.T, cfg Config) Result {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e.Run()
+}
+
+func assertClean(t *testing.T, res Result) {
+	t.Helper()
+	if !res.AllDecided {
+		t.Fatalf("not all correct processes decided within %d rounds", res.Rounds)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"invalid params", Config{Params: core.Params{}}},
+		{"missing init", Config{Params: pbftParams(), Inits: inits("a", "b", "c")}},
+		{"too many byzantine", Config{
+			Params: pbftParams(),
+			Inits:  inits("a", "b", "c", "d"),
+			Byzantine: map[model.PID]adversary.Strategy{
+				2: adversary.Silent{}, 3: adversary.Silent{},
+			},
+		}},
+		{"too many crashes", Config{
+			Params: pbftParams(), // f = 0
+			Inits:  inits("a", "b", "c", "d"),
+			Crashes: map[model.PID]CrashPlan{
+				0: {Round: 1},
+			},
+		}},
+		{"byzantine and crashing", Config{
+			Params: core.Params{
+				N: 5, B: 1, F: 1, TD: 3,
+				Flag: model.FlagPhase, FLV: flv.NewClass3(5, 3, 1, false),
+				Selector: selector.NewAll(5),
+			},
+			Inits:     inits("a", "b", "c", "d", "e"),
+			Byzantine: map[model.PID]adversary.Strategy{2: adversary.Silent{}},
+			Crashes:   map[model.PID]CrashPlan{2: {Round: 1}},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("New = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestPBFTFaultFreeDecidesInOnePhase(t *testing.T) {
+	res := mustRun(t, Config{
+		Params: pbftParams(),
+		Inits:  inits("b", "a", "b", "a"),
+		Seed:   1,
+	})
+	assertClean(t, res)
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3 (one full phase)", res.Rounds)
+	}
+	for p, v := range res.Decisions {
+		if v != "a" {
+			t.Errorf("process %d decided %q, want deterministic minimum \"a\"", p, v)
+		}
+	}
+}
+
+func TestOTRMergedDecidesInstantlyWhenUnanimous(t *testing.T) {
+	res := mustRun(t, Config{
+		Params: otrParams(),
+		Inits:  inits("v", "v", "v", "v"),
+		Seed:   1,
+	})
+	assertClean(t, res)
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1 (merged OTR, unanimous)", res.Rounds)
+	}
+}
+
+func TestOTRMergedSplitInputs(t *testing.T) {
+	res := mustRun(t, Config{
+		Params: otrParams(),
+		Inits:  inits("a", "a", "b", "b"),
+		Seed:   1,
+	})
+	assertClean(t, res)
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2 (one select + one decide)", res.Rounds)
+	}
+}
+
+func TestMQBFaultFree(t *testing.T) {
+	res := mustRun(t, Config{
+		Params: mqbParams(),
+		Inits:  inits("c", "b", "a", "c", "b"),
+		Seed:   1,
+	})
+	assertClean(t, res)
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", res.Rounds)
+	}
+}
+
+func TestFaBFaultFree(t *testing.T) {
+	res := mustRun(t, Config{
+		Params: fabParams(),
+		Inits:  inits("a", "b", "a", "b", "a", "b"),
+		Seed:   1,
+	})
+	assertClean(t, res)
+	// Pcons in the selection round aligns even split inputs, so one
+	// 2-round phase suffices.
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2 (single FLAG=* phase)", res.Rounds)
+	}
+}
+
+func TestPaxosFaultFree(t *testing.T) {
+	res := mustRun(t, Config{
+		Params: paxosParams(),
+		Inits:  inits("b", "c", "a"),
+		Seed:   1,
+	})
+	assertClean(t, res)
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", res.Rounds)
+	}
+}
+
+// A crashed coordinator stalls phase 1; the rotation recovers in phase 2.
+func TestPaxosCoordinatorCrash(t *testing.T) {
+	res := mustRun(t, Config{
+		Params:  paxosParams(),
+		Inits:   inits("b", "c", "a"),
+		Crashes: map[model.PID]CrashPlan{0: {Round: 1}}, // dies before sending
+		Seed:    1,
+	})
+	assertClean(t, res)
+	if res.Rounds <= 3 {
+		t.Errorf("rounds = %d, want > 3 (phase 1 must fail)", res.Rounds)
+	}
+	if res.Rounds != 6 {
+		t.Errorf("rounds = %d, want 6 (decide in phase 2)", res.Rounds)
+	}
+	if _, ok := res.Decisions[0]; ok {
+		t.Error("crashed process reported a decision")
+	}
+}
+
+// A crash with a partial final send must not break agreement.
+func TestPartialCrashSend(t *testing.T) {
+	res := mustRun(t, Config{
+		Params:  paxosParams(),
+		Inits:   inits("b", "c", "a"),
+		Crashes: map[model.PID]CrashPlan{2: {Round: 3, Partial: []model.PID{0}}},
+		Seed:    3,
+	})
+	assertClean(t, res)
+}
+
+// PBFT under every Byzantine strategy: agreement and termination hold at
+// n = 3b+1.
+func TestPBFTByzantineStrategies(t *testing.T) {
+	strategies := []adversary.Strategy{
+		adversary.Silent{},
+		adversary.RandomJunk{Values: []model.Value{"a", "b", "x"}},
+		adversary.Equivocate{A: "a", B: "b"},
+		adversary.ForgeTimestamp{Target: "x"},
+		&adversary.Mimic{},
+		adversary.FlipFlop{Even: adversary.Silent{}, Odd: adversary.Equivocate{A: "x", B: "y"}},
+	}
+	for _, strat := range strategies {
+		strat := strat
+		t.Run(strat.Name(), func(t *testing.T) {
+			for seed := int64(0); seed < 5; seed++ {
+				res := mustRun(t, Config{
+					Params:    pbftParams(),
+					Inits:     inits("b", "a", "b"), // pid 3 is Byzantine
+					Byzantine: map[model.PID]adversary.Strategy{3: strat},
+					Seed:      seed,
+				})
+				assertClean(t, res)
+			}
+		})
+	}
+}
+
+// MQB (the paper's new algorithm) under Byzantine attack at n = 4b+1.
+func TestMQBByzantineStrategies(t *testing.T) {
+	strategies := []adversary.Strategy{
+		adversary.Silent{},
+		adversary.Equivocate{A: "a", B: "b"},
+		adversary.ForgeTimestamp{Target: "x"},
+	}
+	for _, strat := range strategies {
+		strat := strat
+		t.Run(strat.Name(), func(t *testing.T) {
+			for seed := int64(0); seed < 5; seed++ {
+				res := mustRun(t, Config{
+					Params:    mqbParams(),
+					Inits:     inits("b", "a", "b", "a"), // pid 4 Byzantine
+					Byzantine: map[model.PID]adversary.Strategy{4: strat},
+					Seed:      seed,
+				})
+				assertClean(t, res)
+			}
+		})
+	}
+}
+
+// FaB Paxos under attack at n = 5b+1.
+func TestFaBByzantine(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		res := mustRun(t, Config{
+			Params:    fabParams(),
+			Inits:     inits("b", "a", "b", "a", "b"), // pid 5 Byzantine
+			Byzantine: map[model.PID]adversary.Strategy{5: adversary.Equivocate{A: "a", B: "b"}},
+			Seed:      seed,
+		})
+		assertClean(t, res)
+	}
+}
+
+// GST sweep: decisions land within two phases of the first good phase.
+func TestGoodFromPhase(t *testing.T) {
+	params := pbftParams()
+	cs := params.Schedule()
+	for _, phi0 := range []model.Phase{1, 2, 3, 5} {
+		res := mustRun(t, Config{
+			Params: params,
+			Inits:  inits("b", "a", "b", "a"),
+			Modes:  GoodFromPhase(cs, phi0),
+			Drop:   RandomDrop{P: 0.3},
+			Seed:   7,
+		})
+		assertClean(t, res)
+		maxRound := int(cs.FirstRoundOf(phi0)) + 2*cs.RoundsPerPhase()
+		if res.Rounds > maxRound {
+			t.Errorf("phi0=%d: decided at round %d, want ≤ %d", phi0, res.Rounds, maxRound)
+		}
+	}
+}
+
+// Perpetual bad periods: termination is not required but safety must hold,
+// under every dropper.
+func TestSafetyUnderAsynchrony(t *testing.T) {
+	droppers := []Dropper{
+		RandomDrop{P: 0.5},
+		RandomDrop{P: 0.8},
+		DropAll{},
+		Partition{Groups: [][]model.PID{{0, 1}, {2, 3}}},
+		BlockSenders{Blocked: map[model.PID]bool{0: true}},
+		KeepAll{},
+	}
+	for _, d := range droppers {
+		for seed := int64(0); seed < 3; seed++ {
+			e, err := New(Config{
+				Params:    pbftParams(),
+				Inits:     inits("b", "a", "b"),
+				Byzantine: map[model.PID]adversary.Strategy{3: adversary.Equivocate{A: "a", B: "b"}},
+				Modes:     AlwaysBad(),
+				Drop:      d,
+				Seed:      seed,
+				MaxRounds: 60,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := e.Run()
+			if len(res.Violations) > 0 {
+				t.Fatalf("dropper %T seed %d: %v", d, seed, res.Violations)
+			}
+		}
+	}
+}
+
+// Ben-Or (benign): randomized consensus under Prel terminates and agrees.
+func TestBenOrBenign(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		params := core.Params{
+			N: 3, B: 0, F: 1, TD: 2,
+			Flag:     model.FlagPhase,
+			FLV:      flv.NewBenOr(0),
+			Selector: selector.NewAll(3),
+			Chooser:  core.NewCoinChooser(seed*31+7, "0", "1"),
+		}
+		e, err := New(Config{
+			Params:    params,
+			Inits:     inits("0", "1", "1"),
+			Modes:     AlwaysRel(),
+			Seed:      seed,
+			MaxRounds: 3000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := e.Run()
+		if !res.AllDecided {
+			t.Fatalf("seed %d: Ben-Or did not terminate in %d rounds", seed, res.Rounds)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("seed %d: %v", seed, res.Violations)
+		}
+		if v := res.Decisions[0]; v != "0" && v != "1" {
+			t.Fatalf("seed %d: decided %q, not binary", seed, v)
+		}
+	}
+}
+
+// Ben-Or (Byzantine) at n = 5b+1 with an equivocator: sound and live.
+//
+// Note: the paper states n > 4b for Byzantine Ben-Or (§6), but at n = 4b+1
+// the ⟨v, φ-1⟩ lock evidence of Algorithm 9 can decay — once v is decided,
+// Prel can keep delivering only 3 honest v-announcements plus the Byzantine
+// one to the validation round (3 is not > (n+b)/2 = 3), validation fails at
+// every honest process, and a later coin flip can produce a conflicting
+// decision. See TestBenOrPaperBoundUnsound below, and the original Ben-Or
+// requirement n ≥ 5b+1. At n > 5b the worst Prel vector still carries
+// 4 > (n+b)/2 = 3.5 honest announcements, so the lock is maintained forever.
+func TestBenOrByzantine(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		params := core.Params{
+			N: 6, B: 1, F: 0, TD: 4,
+			Flag:     model.FlagPhase,
+			FLV:      flv.NewBenOr(1),
+			Selector: selector.NewAll(6),
+			Chooser:  core.NewCoinChooser(seed*17+3, "0", "1"),
+		}
+		e, err := New(Config{
+			Params:    params,
+			Inits:     inits("0", "1", "0", "1", "1"),
+			Byzantine: map[model.PID]adversary.Strategy{5: adversary.Equivocate{A: "0", B: "1"}},
+			Modes:     AlwaysRel(),
+			Seed:      seed,
+			MaxRounds: 5000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := e.Run()
+		if !res.AllDecided {
+			t.Fatalf("seed %d: Byzantine Ben-Or did not terminate in %d rounds", seed, res.Rounds)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("seed %d: %v", seed, res.Violations)
+		}
+	}
+}
+
+// Reproduction finding: at the paper's stated bound n = 4b+1 the Byzantine
+// Ben-Or instantiation admits agreement violations under Prel. This test
+// documents the deviation: at least one seed in a small window produces a
+// violation (seed 2 does at the time of writing; the assertion scans a
+// window so it is robust to simulator-internal reshuffling).
+func TestBenOrPaperBoundUnsound(t *testing.T) {
+	violated := false
+	for seed := int64(0); seed < 40 && !violated; seed++ {
+		params := core.Params{
+			N: 5, B: 1, F: 0, TD: 4,
+			Flag:     model.FlagPhase,
+			FLV:      flv.NewBenOr(1),
+			Selector: selector.NewAll(5),
+			Chooser:  core.NewCoinChooser(seed*17+3, "0", "1"),
+		}
+		e, err := New(Config{
+			Params:    params,
+			Inits:     inits("0", "1", "0", "1"),
+			Byzantine: map[model.PID]adversary.Strategy{4: adversary.Equivocate{A: "0", B: "1"}},
+			Modes:     AlwaysRel(),
+			Seed:      seed,
+			MaxRounds: 5000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := e.Run()
+		if len(res.Violations) > 0 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("expected an agreement violation at n=4b+1 within 40 seeds; " +
+			"if Prel delivery changed, re-examine the Ben-Or bound analysis")
+	}
+}
+
+// Unanimity audit: PBFT's class-3 FLV with the unanimity lines enabled must
+// decide the common honest value.
+func TestUnanimityWithClass3(t *testing.T) {
+	params := core.Params{
+		N: 4, B: 1, F: 0, TD: 3,
+		Flag:       model.FlagPhase,
+		FLV:        flv.NewClass3(4, 3, 1, true),
+		Selector:   selector.NewAll(4),
+		UseHistory: true,
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		res := mustRun(t, Config{
+			Params:         params,
+			Inits:          inits("v", "v", "v"),
+			Byzantine:      map[model.PID]adversary.Strategy{3: adversary.ForgeTimestamp{Target: "evil"}},
+			Seed:           seed,
+			CheckUnanimity: true,
+		})
+		assertClean(t, res)
+		for p, v := range res.Decisions {
+			if v != "v" {
+				t.Fatalf("seed %d: process %d decided %q, unanimity demands \"v\"", seed, p, v)
+			}
+		}
+	}
+}
+
+// Determinism: identical configuration and seed replay identical results.
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{
+		Params:    mqbParams(),
+		Inits:     inits("b", "a", "c", "a"),
+		Byzantine: map[model.PID]adversary.Strategy{4: adversary.RandomJunk{Values: []model.Value{"a", "x"}}},
+		Modes:     GoodFromPhase(mqbParams().Schedule(), 2),
+		Seed:      99,
+	}
+	r1 := mustRun(t, cfg)
+	r2 := mustRun(t, cfg)
+	if !reflect.DeepEqual(r1.Decisions, r2.Decisions) || r1.Rounds != r2.Rounds {
+		t.Fatalf("replay diverged: %v/%d vs %v/%d", r1.Decisions, r1.Rounds, r2.Decisions, r2.Rounds)
+	}
+}
+
+// Trace accounting: records cover every round, modes are labelled, and the
+// message counts are plausible.
+func TestTraceAccounting(t *testing.T) {
+	res := mustRun(t, Config{
+		Params: pbftParams(),
+		Inits:  inits("a", "a", "a", "a"),
+		Seed:   1,
+	})
+	assertClean(t, res)
+	if len(res.Records) != res.Rounds {
+		t.Fatalf("records = %d, rounds = %d", len(res.Records), res.Rounds)
+	}
+	if res.Records[0].Mode != "cons" {
+		t.Errorf("round 1 mode = %q, want cons (selection)", res.Records[0].Mode)
+	}
+	if res.Records[1].Mode != "good" {
+		t.Errorf("round 2 mode = %q, want good", res.Records[1].Mode)
+	}
+	if res.Stats.MessagesSent == 0 || res.Stats.BytesSent == 0 {
+		t.Error("no traffic recorded")
+	}
+	// Selection rounds carry histories: they must dominate byte costs.
+	if res.Stats.BytesByKind[model.SelectionRound] <= res.Stats.BytesByKind[model.DecisionRound] {
+		t.Errorf("selection bytes %d ≤ decision bytes %d",
+			res.Stats.BytesByKind[model.SelectionRound], res.Stats.BytesByKind[model.DecisionRound])
+	}
+}
+
+// Mode strings for trace output.
+func TestModeString(t *testing.T) {
+	if ModeBad.String() != "bad" || ModeGood.String() != "good" ||
+		ModeCons.String() != "cons" || ModeRel.String() != "rel" {
+		t.Error("mode names")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode")
+	}
+}
+
+// MaxRounds cap: Step refuses to run past the configured bound.
+func TestMaxRounds(t *testing.T) {
+	e, err := New(Config{
+		Params:    pbftParams(),
+		Inits:     inits("a", "b", "a", "b"),
+		Modes:     AlwaysBad(),
+		Drop:      DropAll{},
+		MaxRounds: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if res.Rounds != 5 {
+		t.Errorf("rounds = %d, want 5", res.Rounds)
+	}
+	if res.AllDecided {
+		t.Error("decided under DropAll")
+	}
+	if e.Round() != 6 {
+		t.Errorf("next round = %d, want 6", e.Round())
+	}
+	if e.Proc(0) == nil {
+		t.Error("Proc accessor returned nil")
+	}
+}

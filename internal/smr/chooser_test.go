@@ -1,0 +1,110 @@
+package smr
+
+import (
+	"testing"
+
+	"genconsensus/internal/model"
+)
+
+func TestCommandChooser(t *testing.T) {
+	c := CommandChooser{}
+	if c.Name() != "choose/smr-command" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	tests := []struct {
+		name   string
+		mu     model.Received
+		want   model.Value
+		wantOK bool
+	}{
+		{
+			name: "prefers command over noop",
+			mu: model.Received{
+				0: {Vote: NoOp}, 1: {Vote: NoOp}, 2: {Vote: "z-cmd"},
+			},
+			want: "z-cmd", wantOK: true,
+		},
+		{
+			name: "smallest command wins",
+			mu: model.Received{
+				0: {Vote: "b-cmd"}, 1: {Vote: "a-cmd"}, 2: {Vote: NoOp},
+			},
+			want: "a-cmd", wantOK: true,
+		},
+		{
+			name: "all noop falls back to noop",
+			mu: model.Received{
+				0: {Vote: NoOp}, 1: {Vote: NoOp},
+			},
+			want: NoOp, wantOK: true,
+		},
+		{
+			name:   "empty vector chooses nothing",
+			mu:     model.Received{},
+			wantOK: false,
+		},
+		{
+			name: "null votes ignored",
+			mu: model.Received{
+				0: {Vote: model.NoValue}, 1: {Vote: "cmd"},
+			},
+			want: "cmd", wantOK: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := c.Choose(tt.mu)
+			if ok != tt.wantOK || (ok && got != tt.want) {
+				t.Fatalf("Choose = (%q, %v), want (%q, %v)", got, ok, tt.want, tt.wantOK)
+			}
+		})
+	}
+}
+
+// CheckConsistency detects both divergence shapes: different lengths and
+// different entries.
+func TestCheckConsistencyDetectsDivergence(t *testing.T) {
+	c := newKVClusterForDivergence(t)
+	c.Submit(0, "r|SET|k|v")
+	if _, err := c.RunInstance(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt replica 2's log length.
+	c.Replica(2).Log.Append("extra")
+	if err := c.CheckConsistency(); err == nil {
+		t.Fatal("length divergence not detected")
+	}
+	// Repair lengths but corrupt an entry on replica 1.
+	c.Replica(0).Log.Append("extra")
+	c.Replica(1).Log.Append("DIFFERENT")
+	c.Replica(3).Log.Append("extra")
+	if err := c.CheckConsistency(); err == nil {
+		t.Fatal("entry divergence not detected")
+	}
+}
+
+func newKVClusterForDivergence(t *testing.T) *Cluster {
+	t.Helper()
+	return newKVCluster(t)
+}
+
+// Drain with no pending work is a no-op success.
+func TestDrainIdle(t *testing.T) {
+	c := newKVCluster(t)
+	if err := c.Drain(5); err != nil {
+		t.Fatalf("idle Drain: %v", err)
+	}
+	if c.Replica(0).Log.Len() != 0 {
+		t.Error("idle Drain ran instances")
+	}
+}
+
+// RunInstance propagates engine construction failures (e.g. a params
+// mutation making the config invalid).
+func TestRunInstanceBadParams(t *testing.T) {
+	c := newKVCluster(t)
+	c.params.FLV = nil
+	if _, err := c.RunInstance(); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

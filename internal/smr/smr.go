@@ -1,0 +1,281 @@
+// Package smr layers state-machine replication on top of the generic
+// consensus algorithm: a sequence of consensus instances, each deciding the
+// next command of a replicated log (§5.3: Paxos and PBFT "solve a sequence
+// of instances of consensus"; §7: the framework the authors list as future
+// work).
+//
+// The package is runtime-agnostic: Cluster drives instances through the
+// in-memory simulator (one engine per instance), while the cmd/kvnode
+// binary reuses Replica bookkeeping over the TCP transport.
+package smr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"genconsensus/internal/core"
+	"genconsensus/internal/model"
+	"genconsensus/internal/sim"
+)
+
+// NoOp is the command proposed by replicas with empty queues.
+const NoOp = model.Value("__noop__")
+
+// StateMachine is the deterministic application under replication.
+// Implementations must be deterministic: identical command sequences yield
+// identical states.
+type StateMachine interface {
+	// Apply executes a decided command and returns its response.
+	Apply(cmd model.Value) string
+}
+
+// Log is a replica's decided-command sequence.
+type Log struct {
+	mu      sync.RWMutex
+	entries []model.Value
+}
+
+// Append adds a decided command.
+func (l *Log) Append(cmd model.Value) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, cmd)
+}
+
+// Len returns the number of decided commands.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Get returns the i-th decided command.
+func (l *Log) Get(i int) (model.Value, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if i < 0 || i >= len(l.entries) {
+		return model.NoValue, false
+	}
+	return l.entries[i], true
+}
+
+// Snapshot copies the whole log.
+func (l *Log) Snapshot() []model.Value {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]model.Value(nil), l.entries...)
+}
+
+// Replica is one member's SMR bookkeeping: a pending-command queue, the
+// decided log and the application state machine.
+type Replica struct {
+	ID  model.PID
+	SM  StateMachine
+	Log *Log
+
+	mu      sync.Mutex
+	pending []model.Value
+}
+
+// NewReplica builds a replica around the given state machine.
+func NewReplica(id model.PID, sm StateMachine) *Replica {
+	return &Replica{ID: id, SM: sm, Log: &Log{}}
+}
+
+// Submit queues a client command for proposal.
+func (r *Replica) Submit(cmd model.Value) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending = append(r.pending, cmd)
+}
+
+// Proposal returns the command the replica proposes for the next instance.
+func (r *Replica) Proposal() model.Value {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.pending) == 0 {
+		return NoOp
+	}
+	return r.pending[0]
+}
+
+// Commit records a decided command: appends to the log, applies to the
+// state machine (NoOp is skipped) and removes the first matching occurrence
+// from the pending queue.
+func (r *Replica) Commit(cmd model.Value) string {
+	r.mu.Lock()
+	for i, pending := range r.pending {
+		if pending == cmd {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+	r.Log.Append(cmd)
+	if cmd == NoOp {
+		return ""
+	}
+	return r.SM.Apply(cmd)
+}
+
+// PendingLen reports the queue length.
+func (r *Replica) PendingLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Cluster is a simulation-backed SMR deployment: n replicas deciding a
+// shared log through successive consensus instances.
+type Cluster struct {
+	params   core.Params
+	replicas []*Replica
+	instance uint64
+	seed     int64
+}
+
+// Errors returned by the cluster.
+var (
+	ErrInstanceFailed = errors.New("smr: consensus instance did not decide")
+	ErrDiverged       = errors.New("smr: replica logs diverged")
+)
+
+// CommandChooser is the line-11 choice rule for SMR instances: among the
+// votes it prefers the smallest real command over NoOp, so that queued
+// commands cannot be starved by NoOp proposals (NoOp sorts before most
+// commands under the default minimum rule). Safety is unaffected: the
+// chooser runs only when FLV returns "?" (any value may be selected).
+type CommandChooser struct{}
+
+// Choose implements core.Chooser.
+func (CommandChooser) Choose(mu model.Received) (model.Value, bool) {
+	best := model.NoValue
+	for _, m := range mu {
+		if m.Vote == model.NoValue || m.Vote == NoOp {
+			continue
+		}
+		if best == model.NoValue || m.Vote < best {
+			best = m.Vote
+		}
+	}
+	if best != model.NoValue {
+		return best, true
+	}
+	return mu.MinValue()
+}
+
+// Name implements core.Chooser.
+func (CommandChooser) Name() string { return "choose/smr-command" }
+
+// NewCluster builds n replicas over the given consensus parameterization.
+// smFactory supplies each replica's state machine instance. The line-11
+// chooser is replaced with CommandChooser (see its doc comment).
+func NewCluster(params core.Params, smFactory func(model.PID) StateMachine, seed int64) (*Cluster, error) {
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("smr: %w", err)
+	}
+	params.Chooser = CommandChooser{}
+	c := &Cluster{params: params, seed: seed}
+	for _, p := range model.AllPIDs(params.N) {
+		c.replicas = append(c.replicas, NewReplica(p, smFactory(p)))
+	}
+	return c, nil
+}
+
+// Replica returns replica p.
+func (c *Cluster) Replica(p model.PID) *Replica { return c.replicas[p] }
+
+// Submit delivers a client command following the PBFT client model: the
+// client contacts every replica, so each one queues (and eventually
+// proposes) the command. With a single proposer the command could starve:
+// once TD-b replicas propose NoOp, the FLV function rightfully treats NoOp
+// as potentially locked and the chooser is never consulted.
+func (c *Cluster) Submit(_ model.PID, cmd model.Value) {
+	for _, r := range c.replicas {
+		r.Submit(cmd)
+	}
+}
+
+// PendingTotal counts queued commands across replicas.
+func (c *Cluster) PendingTotal() int {
+	total := 0
+	for _, r := range c.replicas {
+		total += r.PendingLen()
+	}
+	return total
+}
+
+// RunInstance executes one consensus instance over the replicas' current
+// proposals and commits the decision everywhere. It returns the decided
+// command.
+func (c *Cluster) RunInstance() (model.Value, error) {
+	inits := make(map[model.PID]model.Value, len(c.replicas))
+	for _, r := range c.replicas {
+		inits[r.ID] = r.Proposal()
+	}
+	c.instance++
+	engine, err := sim.New(sim.Config{
+		Params: c.params,
+		Inits:  inits,
+		Seed:   c.seed + int64(c.instance),
+	})
+	if err != nil {
+		return model.NoValue, fmt.Errorf("smr: instance %d: %w", c.instance, err)
+	}
+	res := engine.Run()
+	if !res.AllDecided {
+		return model.NoValue, fmt.Errorf("%w: instance %d after %d rounds",
+			ErrInstanceFailed, c.instance, res.Rounds)
+	}
+	if len(res.Violations) > 0 {
+		return model.NoValue, fmt.Errorf("smr: instance %d violations: %s",
+			c.instance, strings.Join(res.Violations, "; "))
+	}
+	var decided model.Value
+	for _, v := range res.Decisions {
+		decided = v
+		break
+	}
+	for _, r := range c.replicas {
+		r.Commit(decided)
+	}
+	return decided, nil
+}
+
+// Drain runs instances until every queued command is decided (bounded by
+// maxInstances).
+func (c *Cluster) Drain(maxInstances int) error {
+	for i := 0; i < maxInstances; i++ {
+		if c.PendingTotal() == 0 {
+			return nil
+		}
+		if _, err := c.RunInstance(); err != nil {
+			return err
+		}
+	}
+	if c.PendingTotal() > 0 {
+		return fmt.Errorf("smr: %d commands still pending after %d instances",
+			c.PendingTotal(), maxInstances)
+	}
+	return nil
+}
+
+// CheckConsistency verifies that all replica logs are prefixes of the
+// longest log (they are equal in this lock-step cluster).
+func (c *Cluster) CheckConsistency() error {
+	ref := c.replicas[0].Log.Snapshot()
+	for _, r := range c.replicas[1:] {
+		log := r.Log.Snapshot()
+		if len(log) != len(ref) {
+			return fmt.Errorf("%w: lengths %d vs %d", ErrDiverged, len(ref), len(log))
+		}
+		for i := range ref {
+			if ref[i] != log[i] {
+				return fmt.Errorf("%w: entry %d: %q vs %q", ErrDiverged, i, ref[i], log[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package smr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"genconsensus/internal/core"
+	"genconsensus/internal/flv"
+	"genconsensus/internal/kv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/selector"
+)
+
+func pbftParams(n, b int) core.Params {
+	return core.Params{
+		N: n, B: b, F: 0, TD: 2*b + 1,
+		Flag:       model.FlagPhase,
+		FLV:        flv.NewPBFT(n, b),
+		Selector:   selector.NewAll(n),
+		UseHistory: true,
+	}
+}
+
+func newKVCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(pbftParams(4, 1), func(model.PID) StateMachine {
+		return kv.NewStore()
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLogBasics(t *testing.T) {
+	var l Log
+	if l.Len() != 0 {
+		t.Error("fresh log not empty")
+	}
+	l.Append("a")
+	l.Append("b")
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if v, ok := l.Get(1); !ok || v != "b" {
+		t.Errorf("Get(1) = %q, %v", v, ok)
+	}
+	if _, ok := l.Get(5); ok {
+		t.Error("Get out of range reported ok")
+	}
+	if _, ok := l.Get(-1); ok {
+		t.Error("Get(-1) reported ok")
+	}
+	snap := l.Snapshot()
+	snap[0] = "mutated"
+	if v, _ := l.Get(0); v != "a" {
+		t.Error("Snapshot aliases the log")
+	}
+}
+
+func TestReplicaQueue(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	if r.Proposal() != NoOp {
+		t.Error("empty queue must propose NoOp")
+	}
+	cmd := kv.Command("r1", "SET", "k", "v")
+	r.Submit(cmd)
+	if r.Proposal() != cmd {
+		t.Error("head of queue must be proposed")
+	}
+	// Deciding another replica's command must not pop our queue.
+	other := kv.Command("r2", "SET", "x", "y")
+	r.Commit(other)
+	if r.PendingLen() != 1 {
+		t.Errorf("pending = %d, want 1", r.PendingLen())
+	}
+	// Deciding our head pops it.
+	resp := r.Commit(cmd)
+	if resp != "OK" {
+		t.Errorf("Apply response = %q", resp)
+	}
+	if r.PendingLen() != 0 {
+		t.Errorf("pending = %d, want 0", r.PendingLen())
+	}
+	if r.Log.Len() != 2 {
+		t.Errorf("log length = %d, want 2", r.Log.Len())
+	}
+	// NoOp commits append but do not touch the state machine.
+	if resp := r.Commit(NoOp); resp != "" {
+		t.Errorf("NoOp response = %q", resp)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(core.Params{}, func(model.PID) StateMachine {
+		return kv.NewStore()
+	}, 0); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestClusterSingleCommand(t *testing.T) {
+	c := newKVCluster(t)
+	cmd := kv.Command("req-1", "SET", "color", "green")
+	c.Submit(0, cmd)
+	decided, err := c.RunInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decided != cmd {
+		t.Fatalf("decided %q, want the submitted command", decided)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		store := c.Replica(model.PID(i)).SM.(*kv.Store)
+		if v, ok := store.Get("color"); !ok || v != "green" {
+			t.Fatalf("replica %d: color = %q, %v", i, v, ok)
+		}
+	}
+}
+
+func TestClusterDrain(t *testing.T) {
+	c := newKVCluster(t)
+	for i := 0; i < 5; i++ {
+		cmd := kv.Command(fmt.Sprintf("req-%d", i), "SET", fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+		c.Submit(model.PID(i%4), cmd)
+	}
+	if err := c.Drain(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	store := c.Replica(2).SM.(*kv.Store)
+	for i := 0; i < 5; i++ {
+		if v, ok := store.Get(fmt.Sprintf("k%d", i)); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q, %v", i, v, ok)
+		}
+	}
+	if c.PendingTotal() != 0 {
+		t.Errorf("pending = %d", c.PendingTotal())
+	}
+}
+
+// Competing proposals: one instance decides exactly one of them; drain gets
+// both in eventually, in the same order everywhere.
+func TestClusterCompetingProposals(t *testing.T) {
+	c := newKVCluster(t)
+	cmdA := kv.Command("req-a", "SET", "k", "fromA")
+	cmdB := kv.Command("req-b", "SET", "k", "fromB")
+	c.Submit(0, cmdA)
+	c.Submit(3, cmdB)
+	if err := c.Drain(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// The later log entry wins the key.
+	log := c.Replica(0).Log.Snapshot()
+	var last model.Value
+	for _, e := range log {
+		if e == cmdA || e == cmdB {
+			last = e
+		}
+	}
+	_, _, _, wantVal, err := kv.Parse(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := c.Replica(1).SM.(*kv.Store)
+	if v, _ := store.Get("k"); v != wantVal {
+		t.Fatalf("k = %q, want %q (last decided)", v, wantVal)
+	}
+}
+
+// Duplicate submissions (client retries) are applied once.
+func TestClusterDeduplication(t *testing.T) {
+	c := newKVCluster(t)
+	cmd := kv.Command("dup-req", "SET", "count", "1")
+	c.Submit(0, cmd)
+	c.Submit(1, cmd)
+	if err := c.Drain(40); err != nil {
+		t.Fatal(err)
+	}
+	store := c.Replica(0).SM.(*kv.Store)
+	if v, _ := store.Get("count"); v != "1" {
+		t.Fatalf("count = %q", v)
+	}
+	// The log may contain the command twice; the state machine dedups.
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainGivesUp(t *testing.T) {
+	c := newKVCluster(t)
+	c.Submit(0, kv.Command("r", "SET", "k", "v"))
+	// Zero instances allowed: must report pending work.
+	if err := c.Drain(0); err == nil {
+		t.Fatal("Drain(0) with pending work must fail")
+	}
+}
+
+func TestErrorsExported(t *testing.T) {
+	if !errors.Is(fmt.Errorf("wrap: %w", ErrDiverged), ErrDiverged) {
+		t.Error("ErrDiverged must support errors.Is")
+	}
+}

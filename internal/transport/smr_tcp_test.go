@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"genconsensus/internal/core"
+	"genconsensus/internal/kv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/smr"
+)
+
+// TestReplicatedKVOverTCP drives the full stack: client commands → SMR
+// replicas → sequential PBFT instances over loopback TCP → identical key-
+// value states (the kvnode architecture, in-process).
+func TestReplicatedKVOverTCP(t *testing.T) {
+	n := 4
+	nodes := startCluster(t, n)
+	params := pbftParams(n, 1)
+	params.Chooser = smr.CommandChooser{}
+
+	replicas := make([]*smr.Replica, n)
+	for i := 0; i < n; i++ {
+		replicas[i] = smr.NewReplica(model.PID(i), kv.NewStore())
+	}
+	// Client model: commands are delivered to every replica.
+	cmds := []model.Value{
+		kv.Command("r1", "SET", "color", "green"),
+		kv.Command("r2", "SET", "shape", "circle"),
+		kv.Command("r3", "DEL", "color", ""),
+	}
+	for _, cmd := range cmds {
+		for _, r := range replicas {
+			r.Submit(cmd)
+		}
+	}
+
+	// Each node runs instances until its queue drains.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replica := replicas[i]
+			for instance := uint64(1); instance <= 10; instance++ {
+				if replica.PendingLen() == 0 {
+					return
+				}
+				proc, err := core.NewProcess(model.PID(i), replica.Proposal(), params)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				decided, err := nodes[i].RunProc(instance, proc, 120, 4)
+				if err != nil {
+					errs[i] = fmt.Errorf("instance %d: %w", instance, err)
+					return
+				}
+				replica.Commit(decided)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+	}
+
+	// All logs identical, all queues drained, all stores agree.
+	ref := replicas[0].Log.Snapshot()
+	if len(ref) != len(cmds) {
+		t.Fatalf("log length = %d, want %d (%v)", len(ref), len(cmds), ref)
+	}
+	for i := 1; i < n; i++ {
+		log := replicas[i].Log.Snapshot()
+		if len(log) != len(ref) {
+			t.Fatalf("replica %d log length %d != %d", i, len(log), len(ref))
+		}
+		for j := range ref {
+			if log[j] != ref[j] {
+				t.Fatalf("replica %d log[%d] = %q, want %q", i, j, log[j], ref[j])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		store := replicas[i].SM.(*kv.Store)
+		if _, ok := store.Get("color"); ok {
+			t.Errorf("replica %d: color survived DEL", i)
+		}
+		if v, ok := store.Get("shape"); !ok || v != "circle" {
+			t.Errorf("replica %d: shape = %q, %v", i, v, ok)
+		}
+	}
+}
+
+// TestReconnectAfterPeerRestart: a node crashes (closed) and a replacement
+// binds the same address; the survivors' cached connections fail once, then
+// redial transparently on the next send.
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	nodes := startCluster(t, 2)
+	// Prime the connection 0 → 1.
+	params := pbftParams(2, 0)
+	params.TD = 2
+	proc0, err := core.NewProcess(0, "x", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc1, err := core.NewProcess(1, "y", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var v0, v1 model.Value
+	go func() { defer wg.Done(); v0, _ = nodes[0].RunProc(1, proc0, 40, 2) }()
+	go func() { defer wg.Done(); v1, _ = nodes[1].RunProc(1, proc1, 40, 2) }()
+	wg.Wait()
+	if v0 != v1 || v0 == model.NoValue {
+		t.Fatalf("priming instance failed: %q vs %q", v0, v1)
+	}
+
+	// Restart node 1 on the same address.
+	addr := nodes[1].Addr()
+	if err := nodes[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	replacement, err := Listen(Config{
+		ID: 1, N: 2,
+		Peers:         nodes[0].cfg.Peers,
+		ListenAddr:    addr,
+		AuthSeed:      42,
+		BaseTimeout:   60 * time.Millisecond,
+		TimeoutGrowth: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer replacement.Close()
+
+	// A second instance must succeed across the restart.
+	proc0b, err := core.NewProcess(0, "x2", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc1b, err := core.NewProcess(1, "y2", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(2)
+	var e0, e1 error
+	go func() { defer wg.Done(); v0, e0 = nodes[0].RunProc(2, proc0b, 60, 2) }()
+	go func() { defer wg.Done(); v1, e1 = replacement.RunProc(2, proc1b, 60, 2) }()
+	wg.Wait()
+	if e0 != nil || e1 != nil {
+		t.Fatalf("post-restart instance: %v / %v", e0, e1)
+	}
+	if v0 != v1 {
+		t.Fatalf("post-restart disagreement: %q vs %q", v0, v1)
+	}
+}

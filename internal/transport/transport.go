@@ -1,0 +1,406 @@
+// Package transport runs round-based consensus over real TCP connections:
+// the production counterpart of the in-memory simulator. It realizes the
+// partially synchronous system model the way [7] (Dwork, Lynch, Stockmeyer)
+// prescribes: closed rounds driven by growing timeouts, so that once the
+// network stabilizes every round satisfies Pgood.
+//
+// A Node owns a listener, lazily-dialed peer connections and per-(instance,
+// round) receive buffers. RunProc drives a round.Proc over one consensus
+// instance: each round it broadcasts the process's messages, collects the
+// round's vector until complete or until the round deadline, and applies
+// the transition. Message integrity and sender authenticity are protected
+// with pairwise HMACs (internal/auth).
+//
+// Lifecycle follows the style guide: Listen spawns the accept and read
+// goroutines; Close signals them and waits for them to exit.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"genconsensus/internal/auth"
+	"genconsensus/internal/model"
+	"genconsensus/internal/round"
+	"genconsensus/internal/wire"
+)
+
+// Config assembles a node.
+type Config struct {
+	// ID is this node's process identifier.
+	ID model.PID
+	// N is the cluster size.
+	N int
+	// Peers maps every process (including self) to its address. The self
+	// entry may be empty when ListenAddr is given.
+	Peers map[model.PID]string
+	// ListenAddr overrides the self entry ("127.0.0.1:0" for tests).
+	ListenAddr string
+	// AuthSeed derives the pairwise HMAC keys; all nodes must agree.
+	AuthSeed int64
+	// BaseTimeout is the round-1 collection deadline (default 20ms).
+	BaseTimeout time.Duration
+	// TimeoutGrowth is added per round (default 5ms), implementing the
+	// growing timeouts of the partially synchronous model.
+	TimeoutGrowth time.Duration
+	// WindowRounds bounds how far ahead of the current round buffered
+	// messages may be (default 4096); protects against hostile floods.
+	WindowRounds int
+}
+
+// Errors returned by the transport.
+var (
+	ErrClosed     = errors.New("transport: node closed")
+	ErrNoDecision = errors.New("transport: no decision within round budget")
+)
+
+// Node is one cluster member's transport endpoint.
+type Node struct {
+	cfg Config
+	ln  net.Listener
+
+	mu        sync.Mutex
+	conns     map[model.PID]net.Conn
+	inbound   map[net.Conn]struct{}
+	instances map[uint64]*instanceBuf
+	closed    bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type instanceBuf struct {
+	rounds  map[model.Round]model.Received
+	current model.Round
+	signal  chan struct{}
+}
+
+func newInstanceBuf() *instanceBuf {
+	return &instanceBuf{
+		rounds:  make(map[model.Round]model.Received),
+		current: 1,
+		signal:  make(chan struct{}, 1),
+	}
+}
+
+// Listen binds the node and starts its accept loop.
+func Listen(cfg Config) (*Node, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("transport: bad cluster size %d", cfg.N)
+	}
+	if cfg.BaseTimeout == 0 {
+		cfg.BaseTimeout = 20 * time.Millisecond
+	}
+	if cfg.TimeoutGrowth == 0 {
+		cfg.TimeoutGrowth = 5 * time.Millisecond
+	}
+	if cfg.WindowRounds == 0 {
+		cfg.WindowRounds = 4096
+	}
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = cfg.Peers[cfg.ID]
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		cfg:       cfg,
+		ln:        ln,
+		conns:     make(map[model.PID]net.Conn),
+		inbound:   make(map[net.Conn]struct{}),
+		instances: make(map[uint64]*instanceBuf),
+		stop:      make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ID returns the node's process id.
+func (n *Node) ID() model.PID { return n.cfg.ID }
+
+// Close stops the node: the listener and all connections are closed and all
+// background goroutines are joined.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.stop)
+	err := n.ln.Close()
+	for _, c := range n.conns {
+		_ = c.Close()
+	}
+	for c := range n.inbound {
+		_ = c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			// Transient accept errors: keep serving until closed.
+			select {
+			case <-n.stop:
+				return
+			case <-time.After(time.Millisecond):
+				continue
+			}
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		env, err := wire.Decode(payload)
+		if err != nil {
+			continue // malformed frame: drop, keep the connection
+		}
+		if !n.authentic(env) {
+			continue
+		}
+		n.deliverLocal(env)
+	}
+}
+
+// authentic verifies the pairwise HMAC, enforcing that the claimed sender
+// holds the key it shares with us (no impersonation, §2.1).
+func (n *Node) authentic(env wire.Envelope) bool {
+	if int(env.Sender) < 0 || int(env.Sender) >= n.cfg.N {
+		return false
+	}
+	key := auth.PairKey(n.cfg.AuthSeed, env.Sender, n.cfg.ID)
+	return auth.CheckMAC(key, wire.VerifyPayload(env), env.Auth)
+}
+
+// deliverLocal buffers a verified envelope.
+func (n *Node) deliverLocal(env wire.Envelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	buf, ok := n.instances[env.Instance]
+	if !ok {
+		buf = newInstanceBuf()
+		n.instances[env.Instance] = buf
+	}
+	// Closed rounds: late messages are useless; far-future rounds are
+	// hostile or confused.
+	if env.Round < buf.current || env.Round > buf.current+model.Round(n.cfg.WindowRounds) {
+		return
+	}
+	mu, ok := buf.rounds[env.Round]
+	if !ok {
+		mu = model.Received{}
+		buf.rounds[env.Round] = mu
+	}
+	if _, dup := mu[env.Sender]; dup {
+		return // first message per (round, sender) wins
+	}
+	mu[env.Sender] = env.Msg
+	select {
+	case buf.signal <- struct{}{}:
+	default:
+	}
+}
+
+// send transmits one envelope to dst, dialing lazily. Failures are
+// swallowed: an unreachable peer is indistinguishable from a slow one in a
+// partially synchronous system.
+func (n *Node) send(dst model.PID, env wire.Envelope) {
+	if dst == n.cfg.ID {
+		n.deliverLocal(env)
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	conn, ok := n.conns[dst]
+	n.mu.Unlock()
+	if !ok {
+		addr := n.cfg.Peers[dst]
+		c, err := net.DialTimeout("tcp", addr, n.cfg.BaseTimeout)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		if existing, raced := n.conns[dst]; raced {
+			_ = c.Close()
+			conn = existing
+		} else {
+			n.conns[dst] = c
+			conn = c
+		}
+		n.mu.Unlock()
+	}
+	payload := wire.Encode(env)
+	if err := wire.WriteFrame(conn, payload); err != nil {
+		n.mu.Lock()
+		if n.conns[dst] == conn {
+			delete(n.conns, dst)
+		}
+		n.mu.Unlock()
+		_ = conn.Close()
+	}
+}
+
+// seal attaches the pairwise HMAC for dst.
+func (n *Node) seal(env wire.Envelope, dst model.PID) wire.Envelope {
+	key := auth.PairKey(n.cfg.AuthSeed, n.cfg.ID, dst)
+	env.Auth = auth.MAC(key, wire.VerifyPayload(env))
+	return env
+}
+
+// collect waits for round r of the instance to be complete (n messages) or
+// for the deadline, and returns the vector collected so far. The round is
+// then closed: later arrivals are discarded.
+func (n *Node) collect(instance uint64, r model.Round, deadline time.Time) model.Received {
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for {
+		n.mu.Lock()
+		buf := n.instances[instance]
+		var have int
+		var signal chan struct{}
+		if buf != nil {
+			have = len(buf.rounds[r])
+			signal = buf.signal
+		}
+		n.mu.Unlock()
+		if have >= n.cfg.N {
+			break
+		}
+		if signal == nil {
+			// No buffer yet: wait for the first arrival or timeout.
+			select {
+			case <-timer.C:
+				return model.Received{}
+			case <-n.stop:
+				return model.Received{}
+			case <-time.After(time.Millisecond):
+				continue
+			}
+		}
+		select {
+		case <-signal:
+		case <-timer.C:
+			goto done
+		case <-n.stop:
+			goto done
+		}
+	}
+done:
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	buf := n.instances[instance]
+	if buf == nil {
+		return model.Received{}
+	}
+	mu := buf.rounds[r]
+	delete(buf.rounds, r)
+	buf.current = r + 1
+	if mu == nil {
+		return model.Received{}
+	}
+	return mu.Clone()
+}
+
+// RunProc drives proc over the given instance until it decides, then keeps
+// participating for extraRounds (so that slower peers can decide too), and
+// returns the decision. It returns ErrNoDecision after maxRounds.
+func (n *Node) RunProc(instance uint64, proc round.Proc, maxRounds, extraRounds int) (model.Value, error) {
+	decided := model.NoValue
+	remaining := -1
+	for r := model.Round(1); int(r) <= maxRounds; r++ {
+		select {
+		case <-n.stop:
+			return model.NoValue, ErrClosed
+		default:
+		}
+		out := proc.Send(r)
+		for dst, msg := range out {
+			env := wire.Envelope{Instance: instance, Round: r, Sender: n.cfg.ID, Msg: msg}
+			n.send(dst, n.seal(env, dst))
+		}
+		deadline := time.Now().Add(n.cfg.BaseTimeout + time.Duration(r)*n.cfg.TimeoutGrowth)
+		mu := n.collect(instance, r, deadline)
+		proc.Transition(r, mu)
+		if v, ok := proc.Decided(); ok && decided == model.NoValue {
+			decided = v
+			remaining = extraRounds
+		}
+		if remaining > 0 {
+			remaining--
+		}
+		if remaining == 0 {
+			return decided, nil
+		}
+	}
+	if decided != model.NoValue {
+		return decided, nil
+	}
+	return model.NoValue, ErrNoDecision
+}
+
+// HasInstance reports whether any message for the instance has been
+// buffered — used by SMR dispatchers to join instances started by peers.
+func (n *Node) HasInstance(instance uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.instances[instance]
+	return ok
+}

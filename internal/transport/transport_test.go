@@ -1,0 +1,297 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"genconsensus/internal/auth"
+	"genconsensus/internal/core"
+	"genconsensus/internal/flv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/selector"
+	"genconsensus/internal/wire"
+)
+
+// startCluster binds n loopback nodes that know each other's addresses.
+func startCluster(t *testing.T, n int) []*Node {
+	t.Helper()
+	nodes := make([]*Node, n)
+	peers := make(map[model.PID]string, n)
+	for i := 0; i < n; i++ {
+		node, err := Listen(Config{
+			ID: model.PID(i), N: n,
+			Peers:         map[model.PID]string{},
+			ListenAddr:    "127.0.0.1:0",
+			AuthSeed:      42,
+			BaseTimeout:   60 * time.Millisecond,
+			TimeoutGrowth: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = node
+		peers[model.PID(i)] = node.Addr()
+	}
+	for _, node := range nodes {
+		node.cfg.Peers = peers
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			_ = node.Close()
+		}
+	})
+	return nodes
+}
+
+func pbftParams(n, b int) core.Params {
+	return core.Params{
+		N: n, B: b, F: 0, TD: 2*b + 1,
+		Flag:       model.FlagPhase,
+		FLV:        flv.NewPBFT(n, b),
+		Selector:   selector.NewAll(n),
+		UseHistory: true,
+	}
+}
+
+// Full consensus over loopback TCP: four PBFT processes decide and agree.
+func TestPBFTOverTCP(t *testing.T) {
+	n := 4
+	nodes := startCluster(t, n)
+	params := pbftParams(n, 1)
+	vals := []model.Value{"b", "a", "b", "a"}
+
+	var wg sync.WaitGroup
+	decisions := make([]model.Value, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		proc, err := core.NewProcess(model.PID(i), vals[i], params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			decisions[i], errs[i] = nodes[i].RunProc(1, proc, 60, 3)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+	}
+	for i := 1; i < n; i++ {
+		if decisions[i] != decisions[0] {
+			t.Fatalf("agreement violated over TCP: %v", decisions)
+		}
+	}
+	if decisions[0] != "a" && decisions[0] != "b" {
+		t.Fatalf("validity violated: decided %q", decisions[0])
+	}
+}
+
+// Paxos over TCP with a crashed node: growing timeouts carry the survivors.
+func TestPaxosOverTCPWithCrash(t *testing.T) {
+	n := 3
+	nodes := startCluster(t, n)
+	params := core.Params{
+		N: n, B: 0, F: 1, TD: 2,
+		Flag:     model.FlagPhase,
+		FLV:      flv.NewPaxos(n),
+		Selector: selector.NewRotatingCoordinator(n),
+	}
+	// Node 2 never runs (crashed from the start).
+	vals := []model.Value{"x", "y"}
+	var wg sync.WaitGroup
+	decisions := make([]model.Value, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		proc, err := core.NewProcess(model.PID(i), vals[i], params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			decisions[i], errs[i] = nodes[i].RunProc(1, proc, 80, 3)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+	}
+	if decisions[0] != decisions[1] {
+		t.Fatalf("agreement violated: %v", decisions)
+	}
+}
+
+// Two concurrent instances multiplex over the same connections.
+func TestMultipleInstances(t *testing.T) {
+	n := 4
+	nodes := startCluster(t, n)
+	params := pbftParams(n, 1)
+	var wg sync.WaitGroup
+	results := make([][2]model.Value, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for inst := uint64(1); inst <= 2; inst++ {
+				init := model.Value(fmt.Sprintf("v%d-%d", inst, i%2))
+				proc, err := core.NewProcess(model.PID(i), init, params)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				v, err := nodes[i].RunProc(inst, proc, 60, 3)
+				if err != nil {
+					t.Errorf("node %d instance %d: %v", i, inst, err)
+					return
+				}
+				results[i][inst-1] = v
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for inst := 0; inst < 2; inst++ {
+		for i := 1; i < n; i++ {
+			if results[i][inst] != results[0][inst] {
+				t.Fatalf("instance %d disagreement: %v", inst+1, results)
+			}
+		}
+	}
+}
+
+// Tampered and unauthenticated frames are dropped before reaching buffers.
+func TestRejectsBadMAC(t *testing.T) {
+	nodes := startCluster(t, 2)
+	env := wire.Envelope{
+		Instance: 1, Round: 1, Sender: 1,
+		Msg: model.Message{Kind: model.DecisionRound, Vote: "v"},
+	}
+	// Wrong key (seed 99 instead of 42).
+	key := auth.PairKey(99, 1, 0)
+	env.Auth = auth.MAC(key, wire.VerifyPayload(env))
+	if nodes[0].authentic(env) {
+		t.Fatal("bad MAC accepted")
+	}
+	// Correct key passes.
+	good := auth.PairKey(42, 1, 0)
+	env.Auth = auth.MAC(good, wire.VerifyPayload(env))
+	if !nodes[0].authentic(env) {
+		t.Fatal("good MAC rejected")
+	}
+	// Out-of-range sender.
+	env.Sender = 7
+	if nodes[0].authentic(env) {
+		t.Fatal("out-of-range sender accepted")
+	}
+}
+
+// Buffer hygiene: late and far-future rounds are discarded; duplicates keep
+// the first copy.
+func TestBufferWindow(t *testing.T) {
+	nodes := startCluster(t, 2)
+	node := nodes[0]
+	mk := func(r model.Round, vote model.Value) wire.Envelope {
+		env := wire.Envelope{
+			Instance: 5, Round: r, Sender: 1,
+			Msg: model.Message{Kind: model.DecisionRound, Vote: vote},
+		}
+		return env
+	}
+	node.deliverLocal(mk(1, "a"))
+	node.deliverLocal(mk(1, "dup")) // duplicate sender: dropped
+	node.deliverLocal(mk(model.Round(node.cfg.WindowRounds+10), "far"))
+	node.mu.Lock()
+	buf := node.instances[5]
+	if got := buf.rounds[1][1].Vote; got != "a" {
+		t.Errorf("round 1 vote = %q, want first copy", got)
+	}
+	if len(buf.rounds) != 1 {
+		t.Errorf("far-future round buffered: %v", buf.rounds)
+	}
+	node.mu.Unlock()
+	// Collect closes the round: later deliveries for it vanish.
+	mu := node.collect(5, 1, time.Now().Add(10*time.Millisecond))
+	if len(mu) != 1 {
+		t.Fatalf("collected %d messages, want 1", len(mu))
+	}
+	node.deliverLocal(mk(1, "late"))
+	node.mu.Lock()
+	if _, ok := node.instances[5].rounds[1]; ok {
+		t.Error("late delivery reopened a closed round")
+	}
+	node.mu.Unlock()
+	if !node.HasInstance(5) {
+		t.Error("HasInstance must report the buffered instance")
+	}
+	if node.HasInstance(9) {
+		t.Error("HasInstance reported an unknown instance")
+	}
+}
+
+// Close is idempotent and joins all goroutines; RunProc observes ErrClosed.
+func TestCloseLifecycle(t *testing.T) {
+	nodes := startCluster(t, 2)
+	node := nodes[0]
+	params := pbftParams(2, 0)
+	params.TD = 2
+	proc, err := core.NewProcess(0, "v", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := node.RunProc(3, proc, 1000, 1)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := node.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("RunProc after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunProc did not observe Close")
+	}
+	if err := node.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// A node alone times out every round and reports no decision.
+func TestNoDecisionBudget(t *testing.T) {
+	node, err := Listen(Config{
+		ID: 0, N: 3,
+		Peers:         map[model.PID]string{0: "", 1: "127.0.0.1:1", 2: "127.0.0.1:1"},
+		ListenAddr:    "127.0.0.1:0",
+		AuthSeed:      1,
+		BaseTimeout:   time.Millisecond,
+		TimeoutGrowth: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	params := pbftParams(3, 0)
+	params.TD = 3
+	proc, err := core.NewProcess(0, "v", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.RunProc(1, proc, 6, 1); !errors.Is(err, ErrNoDecision) {
+		t.Fatalf("err = %v, want ErrNoDecision", err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package wire is the binary codec for consensus messages: a
+// length-prefixed frame carrying an envelope (instance, round, sender) and
+// the round message tuple, with an optional trailing authenticator. The TCP
+// runtime (internal/transport) and the WIC relay protocols use it.
+//
+// Layout (big endian):
+//
+//	frame   := len(u32) payload
+//	payload := version(u8) instance(u64) round(u64) sender(u32) kind(u8)
+//	           vote(str) ts(u64)
+//	           histLen(u16) {val(str) phase(u64)}*
+//	           selLen(u16) {pid(u32)}*
+//	           authLen(u16) auth-bytes
+//	str     := len(u16) bytes
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"genconsensus/internal/model"
+)
+
+// Version is the codec version byte.
+const Version = 1
+
+// MaxFrameSize bounds accepted frames (1 MiB), protecting receivers from
+// hostile length prefixes.
+const MaxFrameSize = 1 << 20
+
+// Envelope wraps a round message with its routing metadata.
+type Envelope struct {
+	// Instance numbers the consensus instance (for SMR logs).
+	Instance uint64
+	// Round is the closed-round number the message belongs to.
+	Round model.Round
+	// Sender is the authenticated sender identity.
+	Sender model.PID
+	// Msg is the round message tuple.
+	Msg model.Message
+	// Auth carries an optional signature or MAC over the payload.
+	Auth []byte
+}
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
+	ErrBadVersion    = errors.New("wire: unsupported version")
+	ErrTruncated     = errors.New("wire: truncated payload")
+)
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) str(s string) {
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u16())
+	if !r.need(n) {
+		return nil
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return b
+}
+
+// maxRelayDepth bounds nested relay batches (a relay of relays is the
+// deepest shape the WIC protocols produce).
+const maxRelayDepth = 2
+
+func encodeMessage(w *writer, m model.Message, depth int) {
+	w.u8(uint8(m.Kind))
+	w.str(string(m.Vote))
+	w.u64(uint64(m.TS))
+	w.u16(uint16(len(m.History)))
+	for _, e := range m.History {
+		w.str(string(e.Val))
+		w.u64(uint64(e.Phase))
+	}
+	w.u16(uint16(len(m.Sel)))
+	for _, p := range m.Sel {
+		w.u32(uint32(p))
+	}
+	if depth >= maxRelayDepth {
+		w.u16(0)
+		return
+	}
+	w.u16(uint16(len(m.Relay)))
+	for _, s := range m.Relay {
+		w.u32(uint32(s.Sender))
+		encodeMessage(w, s.Msg, depth+1)
+		w.u16(uint16(len(s.Sig)))
+		w.buf = append(w.buf, s.Sig...)
+	}
+}
+
+func decodeMessage(r *reader, depth int) model.Message {
+	var m model.Message
+	m.Kind = model.RoundKind(r.u8())
+	m.Vote = model.Value(r.str())
+	m.TS = model.Phase(r.u64())
+	histLen := int(r.u16())
+	if histLen > 0 && histLen <= MaxFrameSize/10 {
+		m.History = make(model.History, 0, histLen)
+		for i := 0; i < histLen; i++ {
+			val := model.Value(r.str())
+			phase := model.Phase(r.u64())
+			m.History = append(m.History, model.HistEntry{Val: val, Phase: phase})
+		}
+	} else if histLen > MaxFrameSize/10 {
+		r.err = ErrTruncated
+		return m
+	}
+	selLen := int(r.u16())
+	if selLen > 0 && selLen <= MaxFrameSize/4 {
+		m.Sel = make([]model.PID, 0, selLen)
+		for i := 0; i < selLen; i++ {
+			m.Sel = append(m.Sel, model.PID(r.u32()))
+		}
+	} else if selLen > MaxFrameSize/4 {
+		r.err = ErrTruncated
+		return m
+	}
+	relayLen := int(r.u16())
+	if relayLen > MaxFrameSize/8 {
+		r.err = ErrTruncated
+		return m
+	}
+	if relayLen > 0 {
+		if depth >= maxRelayDepth {
+			r.err = ErrTruncated
+			return m
+		}
+		m.Relay = make([]model.Signed, 0, relayLen)
+		for i := 0; i < relayLen; i++ {
+			sender := model.PID(r.u32())
+			inner := decodeMessage(r, depth+1)
+			sig := r.bytes()
+			m.Relay = append(m.Relay, model.Signed{Sender: sender, Msg: inner, Sig: sig})
+		}
+	}
+	return m
+}
+
+// Encode serializes the envelope payload (without the frame length prefix).
+func Encode(env Envelope) []byte {
+	w := &writer{buf: make([]byte, 0, 64)}
+	w.u8(Version)
+	w.u64(env.Instance)
+	w.u64(uint64(env.Round))
+	w.u32(uint32(env.Sender))
+	encodeMessage(w, env.Msg, 0)
+	w.u16(uint16(len(env.Auth)))
+	w.buf = append(w.buf, env.Auth...)
+	return w.buf
+}
+
+// EncodeSigned serializes the envelope, calling sign on the unauthenticated
+// payload to produce the trailing authenticator.
+func EncodeSigned(env Envelope, sign func(payload []byte) []byte) []byte {
+	env.Auth = nil
+	unauth := Encode(env)
+	env.Auth = sign(unauth[:len(unauth)-2]) // strip the empty authLen
+	return Encode(env)
+}
+
+// Decode parses a payload produced by Encode.
+func Decode(payload []byte) (Envelope, error) {
+	r := &reader{buf: payload}
+	if v := r.u8(); v != Version {
+		if r.err != nil {
+			return Envelope{}, r.err
+		}
+		return Envelope{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	var env Envelope
+	env.Instance = r.u64()
+	env.Round = model.Round(r.u64())
+	env.Sender = model.PID(r.u32())
+	env.Msg = decodeMessage(r, 0)
+	env.Auth = r.bytes()
+	if r.err != nil {
+		return Envelope{}, r.err
+	}
+	if r.off != len(payload) {
+		return Envelope{}, fmt.Errorf("%w: %d trailing bytes", ErrTruncated, len(payload)-r.off)
+	}
+	return env, nil
+}
+
+// VerifyPayload returns the byte range an authenticator must cover for a
+// decoded envelope: re-encode without Auth and strip the empty length.
+func VerifyPayload(env Envelope) []byte {
+	env.Auth = nil
+	unauth := Encode(env)
+	return unauth[:len(unauth)-2]
+}
+
+// WriteFrame writes a length-prefixed payload to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed payload from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return payload, nil
+}

@@ -1,0 +1,90 @@
+package genconsensus
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRandomizedOTRTerminates(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		spec, err := NewRandomizedOneThirdRule(4, 1, seed*19+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(spec, SplitInits(4, "0", "1"),
+			WithSeed(seed), WithRel(), WithMaxRounds(4000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided {
+			t.Fatalf("seed %d: no termination in %d rounds", seed, res.Rounds)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("seed %d: %v", seed, res.Violations)
+		}
+		if v := res.Decisions[0]; v != "0" && v != "1" {
+			t.Fatalf("seed %d: non-binary decision %q", seed, v)
+		}
+	}
+}
+
+func TestRandomizedMQBTerminates(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		spec, err := NewRandomizedMQB(5, 1, seed*23+9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inits := SplitInits(5, "0", "1")
+		delete(inits, 4)
+		res, err := Run(spec, inits,
+			WithSeed(seed),
+			WithByzantine(4, Equivocate("0", "1")),
+			WithRel(), WithMaxRounds(4000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided {
+			t.Fatalf("seed %d: no termination in %d rounds", seed, res.Rounds)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("seed %d: %v", seed, res.Violations)
+		}
+	}
+}
+
+// Unlike Ben-Or at the same n, randomized MQB at n = 4b+1 never violates
+// agreement even across a long seed scan: the class-2 FLV's vote-based lock
+// does not decay (the §6 transform inherits class-2 FLV-agreement).
+func TestRandomizedMQBNoLockDecay(t *testing.T) {
+	violations := 0
+	for seed := int64(0); seed < 60; seed++ {
+		spec, err := NewRandomizedMQB(5, 1, seed*17+3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inits := SplitInits(5, "0", "1")
+		delete(inits, 4)
+		res, err := Run(spec, inits,
+			WithSeed(seed),
+			WithByzantine(4, Equivocate("0", "1")),
+			WithRel(), WithMaxRounds(5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			violations++
+		}
+	}
+	if violations != 0 {
+		t.Fatalf("%d agreement violations in 60 runs: class-2 lock decayed", violations)
+	}
+}
+
+func TestRandomizedConstructorsRejectBadSizes(t *testing.T) {
+	if _, err := NewRandomizedOneThirdRule(3, 1, 0); !errors.Is(err, ErrBadSize) {
+		t.Errorf("n=3 f=1: %v", err)
+	}
+	if _, err := NewRandomizedMQB(4, 1, 0); !errors.Is(err, ErrBadSize) {
+		t.Errorf("n=4 b=1: %v", err)
+	}
+}

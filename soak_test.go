@@ -1,0 +1,166 @@
+package genconsensus
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSoakMatrix is a randomized end-to-end matrix: random algorithm, random
+// fault assignment within budget, random network schedule — safety must
+// hold in every run, and termination must hold whenever a good phase exists.
+// Failures print the full scenario for replay.
+func TestSoakMatrix(t *testing.T) {
+	const runs = 400
+	type scenario struct {
+		specIdx   int
+		seed      int64
+		byz       bool
+		byzStrat  int
+		crash     bool
+		goodPhase Phase
+		keepP     float64
+	}
+	specs := []func() (*Spec, error){
+		func() (*Spec, error) { return NewOneThirdRule(4, 1) },
+		func() (*Spec, error) { return NewOneThirdRule(7, 2) },
+		func() (*Spec, error) { return NewFaBPaxos(6, 1) },
+		func() (*Spec, error) { return NewMQB(5, 1) },
+		func() (*Spec, error) { return NewMQB(9, 2) },
+		func() (*Spec, error) { return NewPaxos(3, 1) },
+		func() (*Spec, error) { return NewPaxos(5, 2) },
+		func() (*Spec, error) { return NewChandraToueg(3, 1) },
+		func() (*Spec, error) { return NewPBFT(4, 1) },
+		func() (*Spec, error) { return NewPBFT(7, 2) },
+		func() (*Spec, error) { return NewGeneric(Class3, 6, 1, 1) },
+	}
+	strategies := []func() Strategy{
+		Silent,
+		func() Strategy { return Equivocate("a", "b") },
+		func() Strategy { return RandomJunk("a", "b", "z") },
+		func() Strategy { return ForgeTimestamp("z") },
+		Mimic,
+	}
+	rng := rand.New(rand.NewSource(20100621)) // DSN 2010 conference date
+	for i := 0; i < runs; i++ {
+		sc := scenario{
+			specIdx:   rng.Intn(len(specs)),
+			seed:      rng.Int63n(1 << 30),
+			byz:       rng.Intn(2) == 0,
+			byzStrat:  rng.Intn(len(strategies)),
+			crash:     rng.Intn(3) == 0,
+			goodPhase: Phase(1 + rng.Intn(4)),
+			keepP:     0.3 + 0.6*rng.Float64(),
+		}
+		spec, err := specs[sc.specIdx]()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inits := SplitInits(spec.N, "b", "a", "c")
+		opts := []RunOption{
+			WithSeed(sc.seed),
+			WithGoodFromPhase(sc.goodPhase),
+			WithDropProbability(sc.keepP),
+			WithMaxRounds(300),
+		}
+		if sc.byz && spec.B > 0 {
+			p := PID(spec.N - 1)
+			delete(inits, p)
+			opts = append(opts, WithByzantine(p, strategies[sc.byzStrat]()))
+		}
+		if sc.crash && spec.F > 0 {
+			opts = append(opts, WithCrash(0, Round(1+sc.seed%5)))
+		}
+		res, err := Run(spec, inits, opts...)
+		if err != nil {
+			t.Fatalf("scenario %+v (%s): %v", sc, spec.Name, err)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("scenario %+v (%s): SAFETY VIOLATED: %v", sc, spec.Name, res.Violations)
+		}
+		if !res.AllDecided {
+			t.Fatalf("scenario %+v (%s): no termination in %d rounds", sc, spec.Name, res.Rounds)
+		}
+	}
+}
+
+// TestSoakSafetyOnly hammers perpetual-asynchrony executions: no good phase
+// ever, adversaries active, partitions rotating — only safety is demanded.
+func TestSoakSafetyOnly(t *testing.T) {
+	const runs = 150
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < runs; i++ {
+		var spec *Spec
+		var err error
+		if rng.Intn(2) == 0 {
+			spec, err = NewPBFT(4, 1)
+		} else {
+			spec, err = NewMQB(5, 1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		inits := SplitInits(spec.N, "b", "a")
+		byzPID := PID(spec.N - 1)
+		delete(inits, byzPID)
+		opts := []RunOption{
+			WithSeed(rng.Int63n(1 << 30)),
+			WithByzantine(byzPID, Equivocate("a", "b")),
+			WithAlwaysBad(),
+			WithMaxRounds(60),
+		}
+		if rng.Intn(2) == 0 {
+			half := spec.N / 2
+			g1 := make([]PID, 0, half)
+			g2 := make([]PID, 0, spec.N-half)
+			for p := 0; p < spec.N; p++ {
+				if p < half {
+					g1 = append(g1, PID(p))
+				} else {
+					g2 = append(g2, PID(p))
+				}
+			}
+			opts = append(opts, WithPartition(g1, g2))
+		}
+		res, err := Run(spec, inits, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("run %d (%s): %v", i, spec.Name, res.Violations)
+		}
+	}
+}
+
+// TestDecidedAtConsistency: reported decision rounds are plausible — on the
+// round grid of the schedule's decision rounds, and no later than the
+// execution length.
+func TestDecidedAtConsistency(t *testing.T) {
+	spec, err := NewPBFT(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec, SplitInits(4, "b", "a"), WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, r := range res.DecidedAt {
+		if int(r) > res.Rounds {
+			t.Errorf("process %d decided at round %d > executed %d", p, r, res.Rounds)
+		}
+		if r%3 != 0 {
+			t.Errorf("process %d decided in round %d, not a decision round (3φ)", p, r)
+		}
+	}
+}
+
+// Example-style documentation test for the README snippet.
+func ExampleRun() {
+	spec, _ := NewPBFT(4, 1)
+	res, _ := Run(spec,
+		SplitInits(4, "commit", "abort"),
+		WithSeed(1),
+	)
+	fmt.Println(len(res.Violations), res.AllDecided)
+	// Output: 0 true
+}
