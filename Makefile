@@ -1,0 +1,38 @@
+# Local targets mirroring .github/workflows/ci.yml, so `make ci` reproduces
+# exactly what the gate runs.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run (slow); CI runs the 1-iteration smoke via bench-smoke.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check race bench-smoke

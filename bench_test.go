@@ -244,3 +244,45 @@ func BenchmarkSMRInstance(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSMRBatched measures log throughput (committed commands per
+// second) as the batch bound grows. batch=1 is the unbatched protocol: one
+// command per 3-round instance. Larger bounds amortize the same agreement
+// cost over many commands; the cmds/sec metric is the comparison axis.
+func BenchmarkSMRBatched(b *testing.B) {
+	params := core.Params{
+		N: 4, B: 1, F: 0, TD: 3,
+		Flag:       model.FlagPhase,
+		FLV:        flv.NewPBFT(4, 1),
+		Selector:   selector.NewAll(4),
+		UseHistory: true,
+	}
+	for _, batch := range []int{1, 16, 64} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			cluster, err := smr.NewCluster(params, func(model.PID) smr.StateMachine {
+				return kv.NewStore()
+			}, 17)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cluster.SetBatchSize(batch)
+			b.ReportAllocs()
+			committed := 0
+			for i := 0; i < b.N; i++ {
+				// One full load of commands, decided by one instance.
+				for j := 0; j < batch; j++ {
+					cluster.Submit(0, kv.Command(fmt.Sprintf("req-%d-%d", i, j), "SET", "k", "v"))
+				}
+				if _, err := cluster.RunInstance(); err != nil {
+					b.Fatal(err)
+				}
+				committed += batch
+			}
+			if got := cluster.Replica(0).Log.Len(); got != committed {
+				b.Fatalf("log length %d, want %d (batch not fully decided)", got, committed)
+			}
+			b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "cmds/sec")
+		})
+	}
+}

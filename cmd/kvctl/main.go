@@ -3,7 +3,13 @@
 // at least one correct replica queues it; duplicates are suppressed by
 // request id), then the client polls a replica until the write is applied.
 //
+// mset coalesces many writes client-side: all CMD lines are pipelined over
+// a single connection per replica, so the replicas queue them together and
+// the SMR layer decides them as one batch (one consensus instance for the
+// whole set instead of one per key).
+//
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201 set color green
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201 mset color green shape circle size big
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 get color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 del color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 loglen
@@ -29,7 +35,7 @@ func main() {
 	addrs := strings.Split(*nodes, ",")
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("usage: kvctl [-nodes ...] set <k> <v> | del <k> | get <k> | loglen")
+		fail("usage: kvctl [-nodes ...] set <k> <v> | mset <k> <v> [<k> <v> ...] | del <k> | get <k> | loglen")
 	}
 
 	switch strings.ToLower(args[0]) {
@@ -48,6 +54,31 @@ func main() {
 		broadcast(addrs, fmt.Sprintf("CMD %s SET %s %s", reqID, args[1], args[2]))
 		waitUntil(addrs[0], "GET "+args[1], args[2], *timeout)
 		fmt.Println("OK")
+	case "mset":
+		if len(args) < 3 || len(args)%2 == 0 {
+			fail("usage: mset <key> <value> [<key> <value> ...]")
+		}
+		pairs := args[1:]
+		lines := make([]string, 0, len(pairs)/2)
+		base := newReqID()
+		for i := 0; i < len(pairs); i += 2 {
+			lines = append(lines, fmt.Sprintf("CMD %s-%d SET %s %s", base, i/2, pairs[i], pairs[i+1]))
+		}
+		broadcastMany(addrs, lines)
+		// Poll each key for its final value: with a repeated key the later
+		// pair in the batch wins, so earlier values never materialize.
+		final := make(map[string]string, len(pairs)/2)
+		order := make([]string, 0, len(pairs)/2)
+		for i := 0; i < len(pairs); i += 2 {
+			if _, seen := final[pairs[i]]; !seen {
+				order = append(order, pairs[i])
+			}
+			final[pairs[i]] = pairs[i+1]
+		}
+		for _, key := range order {
+			waitUntil(addrs[0], "GET "+key, final[key], *timeout)
+		}
+		fmt.Printf("OK %d keys\n", len(final))
 	case "del":
 		if len(args) != 2 {
 			fail("usage: del <key>")
@@ -77,6 +108,51 @@ func broadcast(addrs []string, line string) {
 	if queued == 0 {
 		fail("no replica accepted the command")
 	}
+}
+
+// broadcastMany coalesces the lines into one pipelined exchange per replica
+// (a single connection carrying every request), so a replica queues the
+// whole set before its next proposal and the cluster can decide it as one
+// batch. At least one replica must queue every line.
+func broadcastMany(addrs []string, lines []string) {
+	allQueued := 0
+	for _, addr := range addrs {
+		resps := requestMany(strings.TrimSpace(addr), lines)
+		ok := len(resps) == len(lines)
+		for _, resp := range resps {
+			if resp != "QUEUED" {
+				ok = false
+			}
+		}
+		if ok {
+			allQueued++
+		}
+	}
+	if allQueued == 0 {
+		fail("no replica accepted the batch")
+	}
+}
+
+// requestMany pipelines all lines over one connection and collects one
+// response per line (stopping early on connection errors).
+func requestMany(addr string, lines []string) []string {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprint(conn, strings.Join(lines, "\n")+"\n"); err != nil {
+		return nil
+	}
+	scanner := bufio.NewScanner(conn)
+	resps := make([]string, 0, len(lines))
+	for range lines {
+		if !scanner.Scan() {
+			break
+		}
+		resps = append(resps, scanner.Text())
+	}
+	return resps
 }
 
 // waitUntil polls the read until it matches want or the timeout elapses.

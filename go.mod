@@ -1,0 +1,3 @@
+module genconsensus
+
+go 1.24

@@ -6,9 +6,18 @@ import (
 	"genconsensus/internal/model"
 )
 
+func mustBatch(t *testing.T, cmds ...model.Value) model.Value {
+	t.Helper()
+	b, err := EncodeBatch(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func TestCommandChooser(t *testing.T) {
 	c := CommandChooser{}
-	if c.Name() != "choose/smr-command" {
+	if c.Name() != "choose/smr-batch" {
 		t.Errorf("Name = %q", c.Name())
 	}
 	tests := []struct {
@@ -49,6 +58,40 @@ func TestCommandChooser(t *testing.T) {
 				0: {Vote: model.NoValue}, 1: {Vote: "cmd"},
 			},
 			want: "cmd", wantOK: true,
+		},
+		{
+			name: "largest valid batch beats smaller batch and plain command",
+			mu: model.Received{
+				0: {Vote: mustBatch(t, "cmd-a", "cmd-b", "cmd-c")},
+				1: {Vote: mustBatch(t, "cmd-a")},
+				2: {Vote: "a-plain-command"},
+				3: {Vote: NoOp},
+			},
+			want: mustBatch(t, "cmd-a", "cmd-b", "cmd-c"), wantOK: true,
+		},
+		{
+			name: "equal-weight batches tie-break on smallest encoding",
+			mu: model.Received{
+				0: {Vote: mustBatch(t, "cmd-b", "cmd-c")},
+				1: {Vote: mustBatch(t, "cmd-a", "cmd-b")},
+			},
+			want: mustBatch(t, "cmd-a", "cmd-b"), wantOK: true,
+		},
+		{
+			name: "malformed batch is rejected in favour of a real command",
+			mu: model.Received{
+				0: {Vote: model.Value(batchMagic + "9999;3:abc")},
+				1: {Vote: "real-command"},
+			},
+			want: "real-command", wantOK: true,
+		},
+		{
+			name: "only junk batches and noops falls back to noop",
+			mu: model.Received{
+				0: {Vote: model.Value(batchMagic + "junk")},
+				1: {Vote: NoOp},
+			},
+			want: NoOp, wantOK: true,
 		},
 	}
 	for _, tt := range tests {

@@ -1,12 +1,23 @@
 // Package smr layers state-machine replication on top of the generic
 // consensus algorithm: a sequence of consensus instances, each deciding the
-// next command of a replicated log (§5.3: Paxos and PBFT "solve a sequence
+// next commands of a replicated log (§5.3: Paxos and PBFT "solve a sequence
 // of instances of consensus"; §7: the framework the authors list as future
 // work).
 //
+// Throughput comes from batching: one consensus instance decides a whole
+// Batch of client commands, amortizing the 3-round agreement cost over up
+// to MaxBatchSize commands. Replicas encode their pending queues with
+// EncodeBatch (a deterministic, length-prefixed codec bounded by
+// MaxBatchSize/MaxBatchBytes), the batch-aware CommandChooser prefers the
+// largest valid non-NoOp batch among the received votes (rejecting
+// malformed or oversized Byzantine batches), and Commit applies every
+// command of a decided batch in order. The replicated log stores individual
+// commands, so log positions and consistency checks are batch-transparent.
+//
 // The package is runtime-agnostic: Cluster drives instances through the
-// in-memory simulator (one engine per instance), while the cmd/kvnode
-// binary reuses Replica bookkeeping over the TCP transport.
+// in-memory simulator (one engine per instance, with optional crash and
+// Byzantine members), while the cmd/kvnode binary reuses Replica
+// bookkeeping over the TCP transport.
 package smr
 
 import (
@@ -15,6 +26,7 @@ import (
 	"strings"
 	"sync"
 
+	"genconsensus/internal/adversary"
 	"genconsensus/internal/core"
 	"genconsensus/internal/model"
 	"genconsensus/internal/sim"
@@ -31,7 +43,8 @@ type StateMachine interface {
 	Apply(cmd model.Value) string
 }
 
-// Log is a replica's decided-command sequence.
+// Log is a replica's decided-command sequence. Entries are individual
+// commands: a decided batch appends one entry per command.
 type Log struct {
 	mu      sync.RWMutex
 	entries []model.Value
@@ -75,49 +88,125 @@ type Replica struct {
 	SM  StateMachine
 	Log *Log
 
-	mu      sync.Mutex
-	pending []model.Value
+	mu       sync.Mutex
+	pending  []model.Value
+	queued   map[model.Value]struct{}
+	maxBatch int
 }
 
-// NewReplica builds a replica around the given state machine.
+// NewReplica builds a replica around the given state machine, proposing
+// batches of up to MaxBatchSize commands.
 func NewReplica(id model.PID, sm StateMachine) *Replica {
-	return &Replica{ID: id, SM: sm, Log: &Log{}}
+	return &Replica{
+		ID: id, SM: sm, Log: &Log{},
+		queued:   make(map[model.Value]struct{}),
+		maxBatch: MaxBatchSize,
+	}
 }
 
-// Submit queues a client command for proposal.
-func (r *Replica) Submit(cmd model.Value) {
+// SetMaxBatch bounds the number of commands per proposed batch, clamped to
+// [1, MaxBatchSize]. A bound of 1 reproduces the unbatched protocol.
+func (r *Replica) SetMaxBatch(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	switch {
+	case n < 1:
+		r.maxBatch = 1
+	case n > MaxBatchSize:
+		r.maxBatch = MaxBatchSize
+	default:
+		r.maxBatch = n
+	}
+}
+
+// Submit queues a client command for proposal. Inadmissible commands are
+// dropped at the door: duplicates already queued (an honest replica never
+// builds a batch with repeated entries; the state machine additionally
+// deduplicates by request id across instances), empty values, NoOp,
+// batch-prefixed values (a command that parses as a batch could never be
+// proposed and would wedge the queue head forever) and commands too large
+// to ever fit a batch. The queued-set index keeps Submit O(1) under
+// pipelined client load.
+func (r *Replica) Submit(cmd model.Value) {
+	if !Admissible(cmd) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.queued[cmd]; ok {
+		return
+	}
+	r.queued[cmd] = struct{}{}
 	r.pending = append(r.pending, cmd)
 }
 
-// Proposal returns the command the replica proposes for the next instance.
+// Proposal returns the value the replica proposes for the next instance: a
+// batch of the first k pending commands (k ≤ the SetMaxBatch bound, encoded
+// size ≤ MaxBatchBytes), or NoOp when the queue is empty. The queue is not
+// consumed — commands leave it only when committed. Submit admits only
+// commands that fit a batch, so the encoding cannot fail; the raw-head
+// fallback is pure defence (a plain command still weighs 1 with the
+// chooser, so the queue can never wedge).
 func (r *Replica) Proposal() model.Value {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.pending) == 0 {
 		return NoOp
 	}
-	return r.pending[0]
-}
-
-// Commit records a decided command: appends to the log, applies to the
-// state machine (NoOp is skipped) and removes the first matching occurrence
-// from the pending queue.
-func (r *Replica) Commit(cmd model.Value) string {
-	r.mu.Lock()
-	for i, pending := range r.pending {
-		if pending == cmd {
-			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+	k := r.maxBatch
+	if k > len(r.pending) {
+		k = len(r.pending)
+	}
+	// Shrink until the encoding fits MaxBatchBytes. Encoding overhead per
+	// command is small (len + 2 separators), so budget on raw bytes first.
+	for ; k > 1; k-- {
+		total := len(batchMagic) + 8
+		for _, cmd := range r.pending[:k] {
+			total += len(cmd) + 8
+		}
+		if total <= MaxBatchBytes {
 			break
 		}
 	}
-	r.mu.Unlock()
-	r.Log.Append(cmd)
-	if cmd == NoOp {
-		return ""
+	batch, err := EncodeBatch(r.pending[:k])
+	if err != nil {
+		return r.pending[0]
 	}
-	return r.SM.Apply(cmd)
+	return batch
+}
+
+// Commit records a decided value: each command it stands for (every command
+// of a batch, in order) is appended to the log, removed from the pending
+// queue and applied to the state machine (NoOp is appended but not
+// applied). It returns one response per applied command.
+func (r *Replica) Commit(decided model.Value) []string {
+	cmds := Commands(decided)
+	decidedSet := make(map[model.Value]struct{}, len(cmds))
+	for _, cmd := range cmds {
+		decidedSet[cmd] = struct{}{}
+	}
+	// One filter pass keeps the commit O(queue) regardless of batch size.
+	r.mu.Lock()
+	kept := r.pending[:0]
+	for _, pending := range r.pending {
+		if _, ok := decidedSet[pending]; ok {
+			delete(r.queued, pending)
+			continue
+		}
+		kept = append(kept, pending)
+	}
+	r.pending = kept
+	r.mu.Unlock()
+	responses := make([]string, 0, len(cmds))
+	for _, cmd := range cmds {
+		r.Log.Append(cmd)
+		if cmd == NoOp {
+			responses = append(responses, "")
+			continue
+		}
+		responses = append(responses, r.SM.Apply(cmd))
+	}
+	return responses
 }
 
 // PendingLen reports the queue length.
@@ -128,46 +217,72 @@ func (r *Replica) PendingLen() int {
 }
 
 // Cluster is a simulation-backed SMR deployment: n replicas deciding a
-// shared log through successive consensus instances.
+// shared log through successive consensus instances. Members can be marked
+// crashed (silent from the next instance on) or Byzantine (driven by an
+// adversary.Strategy instead of the honest algorithm), within the f and b
+// budgets of the parameterization.
 type Cluster struct {
-	params   core.Params
-	replicas []*Replica
-	instance uint64
-	seed     int64
+	params    core.Params
+	replicas  []*Replica
+	instance  uint64
+	seed      int64
+	byzantine map[model.PID]adversary.Strategy
+	crashed   map[model.PID]bool
 }
 
 // Errors returned by the cluster.
 var (
 	ErrInstanceFailed = errors.New("smr: consensus instance did not decide")
 	ErrDiverged       = errors.New("smr: replica logs diverged")
+	ErrFaultBudget    = errors.New("smr: fault budget exceeded")
 )
 
 // CommandChooser is the line-11 choice rule for SMR instances: among the
-// votes it prefers the smallest real command over NoOp, so that queued
-// commands cannot be starved by NoOp proposals (NoOp sorts before most
-// commands under the default minimum rule). Safety is unaffected: the
-// chooser runs only when FLV returns "?" (any value may be selected).
+// votes it prefers the value committing the most commands — the largest
+// valid batch, with plain commands weighing one — breaking weight ties by
+// smallest value, so identical vectors choose identically everywhere.
+// Malformed or oversized batches (Byzantine proposals) and NoOp weigh zero
+// and are never preferred over real commands, so queued commands cannot be
+// starved by NoOp proposals or syntactically invalid batches.
+//
+// The chooser validates batch structure, not command provenance: a
+// Byzantine proposer can still submit a well-formed batch of fabricated
+// commands and win the choice (as in any SMR without authenticated client
+// commands — the application layer rejects them, e.g. by request-id
+// signature, but they occupy log space). Authenticating commands
+// end-to-end is tracked in ROADMAP.md. Safety is unaffected either way:
+// the chooser runs only when FLV returns "?" (any value may be selected).
 type CommandChooser struct{}
 
 // Choose implements core.Chooser.
 func (CommandChooser) Choose(mu model.Received) (model.Value, bool) {
 	best := model.NoValue
+	bestWeight := 0
 	for _, m := range mu {
-		if m.Vote == model.NoValue || m.Vote == NoOp {
+		w := BatchWeight(m.Vote)
+		if w == 0 {
 			continue
 		}
-		if best == model.NoValue || m.Vote < best {
-			best = m.Vote
+		if w > bestWeight || (w == bestWeight && m.Vote < best) {
+			best, bestWeight = m.Vote, w
 		}
 	}
 	if best != model.NoValue {
 		return best, true
 	}
+	// No committable command among the votes: prefer an explicit NoOp over
+	// opaque junk (a zero-weight Byzantine value would only waste the
+	// instance), then fall back to the default minimum rule.
+	for _, m := range mu {
+		if m.Vote == NoOp {
+			return NoOp, true
+		}
+	}
 	return mu.MinValue()
 }
 
 // Name implements core.Chooser.
-func (CommandChooser) Name() string { return "choose/smr-command" }
+func (CommandChooser) Name() string { return "choose/smr-batch" }
 
 // NewCluster builds n replicas over the given consensus parameterization.
 // smFactory supplies each replica's state machine instance. The line-11
@@ -177,7 +292,12 @@ func NewCluster(params core.Params, smFactory func(model.PID) StateMachine, seed
 		return nil, fmt.Errorf("smr: %w", err)
 	}
 	params.Chooser = CommandChooser{}
-	c := &Cluster{params: params, seed: seed}
+	c := &Cluster{
+		params:    params,
+		seed:      seed,
+		byzantine: make(map[model.PID]adversary.Strategy),
+		crashed:   make(map[model.PID]bool),
+	}
 	for _, p := range model.AllPIDs(params.N) {
 		c.replicas = append(c.replicas, NewReplica(p, smFactory(p)))
 	}
@@ -187,39 +307,103 @@ func NewCluster(params core.Params, smFactory func(model.PID) StateMachine, seed
 // Replica returns replica p.
 func (c *Cluster) Replica(p model.PID) *Replica { return c.replicas[p] }
 
+// SetBatchSize bounds every replica's proposals to n commands per batch.
+func (c *Cluster) SetBatchSize(n int) {
+	for _, r := range c.replicas {
+		r.SetMaxBatch(n)
+	}
+}
+
+// SetByzantine replaces member p's honest process with the given adversary
+// strategy from the next instance on. The b budget of the parameterization
+// is enforced.
+func (c *Cluster) SetByzantine(p model.PID, s adversary.Strategy) error {
+	if int(p) < 0 || int(p) >= c.params.N {
+		return fmt.Errorf("smr: no member %d", p)
+	}
+	if c.crashed[p] {
+		return fmt.Errorf("%w: member %d already crashed", ErrFaultBudget, p)
+	}
+	if _, ok := c.byzantine[p]; !ok && len(c.byzantine) >= c.params.B {
+		return fmt.Errorf("%w: %d Byzantine members, b=%d", ErrFaultBudget, len(c.byzantine)+1, c.params.B)
+	}
+	c.byzantine[p] = s
+	return nil
+}
+
+// Crash silences member p from the next instance on (a benign fault: the
+// member stops proposing, sending and committing). The f budget of the
+// parameterization is enforced.
+func (c *Cluster) Crash(p model.PID) error {
+	if int(p) < 0 || int(p) >= c.params.N {
+		return fmt.Errorf("smr: no member %d", p)
+	}
+	if _, ok := c.byzantine[p]; ok {
+		return fmt.Errorf("%w: member %d already Byzantine", ErrFaultBudget, p)
+	}
+	if !c.crashed[p] && len(c.crashed) >= c.params.F {
+		return fmt.Errorf("%w: %d crashed members, f=%d", ErrFaultBudget, len(c.crashed)+1, c.params.F)
+	}
+	c.crashed[p] = true
+	return nil
+}
+
+// live reports whether member p participates in commits: honest and not
+// crashed.
+func (c *Cluster) live(p model.PID) bool {
+	_, byz := c.byzantine[p]
+	return !byz && !c.crashed[p]
+}
+
 // Submit delivers a client command following the PBFT client model: the
-// client contacts every replica, so each one queues (and eventually
+// client contacts every live replica, so each one queues (and eventually
 // proposes) the command. With a single proposer the command could starve:
 // once TD-b replicas propose NoOp, the FLV function rightfully treats NoOp
 // as potentially locked and the chooser is never consulted.
 func (c *Cluster) Submit(_ model.PID, cmd model.Value) {
 	for _, r := range c.replicas {
-		r.Submit(cmd)
+		if c.live(r.ID) {
+			r.Submit(cmd)
+		}
 	}
 }
 
-// PendingTotal counts queued commands across replicas.
+// PendingTotal counts queued commands across live replicas.
 func (c *Cluster) PendingTotal() int {
 	total := 0
 	for _, r := range c.replicas {
-		total += r.PendingLen()
+		if c.live(r.ID) {
+			total += r.PendingLen()
+		}
 	}
 	return total
 }
 
 // RunInstance executes one consensus instance over the replicas' current
-// proposals and commits the decision everywhere. It returns the decided
-// command.
+// proposals and commits the decision at every live replica. Crashed members
+// fall silent in round 1; Byzantine members run their strategies. It
+// returns the decided value (a batch, a plain command or NoOp).
 func (c *Cluster) RunInstance() (model.Value, error) {
 	inits := make(map[model.PID]model.Value, len(c.replicas))
+	byz := make(map[model.PID]adversary.Strategy, len(c.byzantine))
+	crashes := make(map[model.PID]sim.CrashPlan, len(c.crashed))
 	for _, r := range c.replicas {
+		if s, ok := c.byzantine[r.ID]; ok {
+			byz[r.ID] = s
+			continue
+		}
 		inits[r.ID] = r.Proposal()
+		if c.crashed[r.ID] {
+			crashes[r.ID] = sim.CrashPlan{Round: 1}
+		}
 	}
 	c.instance++
 	engine, err := sim.New(sim.Config{
-		Params: c.params,
-		Inits:  inits,
-		Seed:   c.seed + int64(c.instance),
+		Params:    c.params,
+		Inits:     inits,
+		Byzantine: byz,
+		Crashes:   crashes,
+		Seed:      c.seed + int64(c.instance),
 	})
 	if err != nil {
 		return model.NoValue, fmt.Errorf("smr: instance %d: %w", c.instance, err)
@@ -239,7 +423,9 @@ func (c *Cluster) RunInstance() (model.Value, error) {
 		break
 	}
 	for _, r := range c.replicas {
-		r.Commit(decided)
+		if c.live(r.ID) {
+			r.Commit(decided)
+		}
 	}
 	return decided, nil
 }
@@ -262,16 +448,36 @@ func (c *Cluster) Drain(maxInstances int) error {
 	return nil
 }
 
-// CheckConsistency verifies that all replica logs are prefixes of the
-// longest log (they are equal in this lock-step cluster).
+// CheckConsistency verifies the SMR safety invariant over honest members:
+// all live replica logs are identical, and every crashed replica's log is a
+// prefix of them. Byzantine members are unconstrained and skipped.
 func (c *Cluster) CheckConsistency() error {
-	ref := c.replicas[0].Log.Snapshot()
-	for _, r := range c.replicas[1:] {
+	var ref []model.Value
+	haveRef := false
+	for _, r := range c.replicas {
+		if c.live(r.ID) {
+			ref = r.Log.Snapshot()
+			haveRef = true
+			break
+		}
+	}
+	if !haveRef {
+		return nil
+	}
+	for _, r := range c.replicas {
+		if _, byz := c.byzantine[r.ID]; byz {
+			continue
+		}
 		log := r.Log.Snapshot()
-		if len(log) != len(ref) {
+		if c.crashed[r.ID] {
+			if len(log) > len(ref) {
+				return fmt.Errorf("%w: crashed member %d has %d entries, live logs have %d",
+					ErrDiverged, r.ID, len(log), len(ref))
+			}
+		} else if len(log) != len(ref) {
 			return fmt.Errorf("%w: lengths %d vs %d", ErrDiverged, len(ref), len(log))
 		}
-		for i := range ref {
+		for i := range log {
 			if ref[i] != log[i] {
 				return fmt.Errorf("%w: entry %d: %q vs %q", ErrDiverged, i, ref[i], log[i])
 			}

@@ -3,8 +3,10 @@ package smr
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
+	"genconsensus/internal/adversary"
 	"genconsensus/internal/core"
 	"genconsensus/internal/flv"
 	"genconsensus/internal/kv"
@@ -66,8 +68,8 @@ func TestReplicaQueue(t *testing.T) {
 	}
 	cmd := kv.Command("r1", "SET", "k", "v")
 	r.Submit(cmd)
-	if r.Proposal() != cmd {
-		t.Error("head of queue must be proposed")
+	if cmds := Commands(r.Proposal()); len(cmds) != 1 || cmds[0] != cmd {
+		t.Errorf("queued command must be proposed, got %v", cmds)
 	}
 	// Deciding another replica's command must not pop our queue.
 	other := kv.Command("r2", "SET", "x", "y")
@@ -77,8 +79,8 @@ func TestReplicaQueue(t *testing.T) {
 	}
 	// Deciding our head pops it.
 	resp := r.Commit(cmd)
-	if resp != "OK" {
-		t.Errorf("Apply response = %q", resp)
+	if len(resp) != 1 || resp[0] != "OK" {
+		t.Errorf("Apply responses = %v", resp)
 	}
 	if r.PendingLen() != 0 {
 		t.Errorf("pending = %d, want 0", r.PendingLen())
@@ -87,8 +89,109 @@ func TestReplicaQueue(t *testing.T) {
 		t.Errorf("log length = %d, want 2", r.Log.Len())
 	}
 	// NoOp commits append but do not touch the state machine.
-	if resp := r.Commit(NoOp); resp != "" {
-		t.Errorf("NoOp response = %q", resp)
+	if resp := r.Commit(NoOp); len(resp) != 1 || resp[0] != "" {
+		t.Errorf("NoOp responses = %v", resp)
+	}
+}
+
+// Proposal batches the whole queue (up to the bound) and Commit applies a
+// decided batch command-by-command, in order.
+func TestReplicaBatchedProposal(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	var cmds []model.Value
+	for i := 0; i < 5; i++ {
+		c := kv.Command(fmt.Sprintf("r%d", i), "SET", "k", fmt.Sprintf("v%d", i))
+		cmds = append(cmds, c)
+		r.Submit(c)
+	}
+	got, err := DecodeBatch(r.Proposal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("batch carries %d commands, want 5", len(got))
+	}
+	for i := range cmds {
+		if got[i] != cmds[i] {
+			t.Fatalf("batch[%d] = %q, want %q (queue order must be preserved)", i, got[i], cmds[i])
+		}
+	}
+	// A batch bound of 2 proposes only the head of the queue.
+	r.SetMaxBatch(2)
+	if got, err = DecodeBatch(r.Proposal()); err != nil || len(got) != 2 {
+		t.Fatalf("bounded batch = %v (err %v), want the first 2 commands", got, err)
+	}
+	// Committing the full batch drains the queue and applies in order.
+	batch, err := EncodeBatch(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := r.Commit(batch)
+	if len(resps) != 5 {
+		t.Fatalf("%d responses, want 5", len(resps))
+	}
+	if r.PendingLen() != 0 {
+		t.Errorf("pending = %d after batch commit", r.PendingLen())
+	}
+	if r.Log.Len() != 5 {
+		t.Errorf("log length = %d, want 5 individual entries", r.Log.Len())
+	}
+	if v, _ := r.SM.(*kv.Store).Get("k"); v != "v4" {
+		t.Errorf("k = %q, want the last command's value", v)
+	}
+}
+
+// Submitting an already-queued command is a no-op: honest batches never
+// contain duplicates.
+func TestReplicaSubmitDeduplicates(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	cmd := kv.Command("r1", "SET", "k", "v")
+	r.Submit(cmd)
+	r.Submit(cmd)
+	if r.PendingLen() != 1 {
+		t.Fatalf("pending = %d, want 1", r.PendingLen())
+	}
+	// A command decided and removed may be legitimately re-queued later (a
+	// client retry after commit); the state machine dedups by request id.
+	r.Commit(cmd)
+	r.Submit(cmd)
+	if r.PendingLen() != 1 {
+		t.Fatalf("pending after re-submit = %d, want 1", r.PendingLen())
+	}
+}
+
+// Inadmissible client commands are dropped at Submit: a value that parses
+// as a batch (or NoOp, or an oversized blob) must never reach the queue,
+// where it would wedge the proposal path forever.
+func TestReplicaSubmitRejectsInadmissible(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	poisoned, err := EncodeBatch([]model.Value{"inner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cmd := range map[string]model.Value{
+		"batch-prefixed": poisoned,
+		"forged magic":   model.Value(batchMagic + "junk"),
+		"noop":           NoOp,
+		"empty":          model.NoValue,
+		"oversized":      model.Value(strings.Repeat("x", MaxBatchBytes)),
+	} {
+		r.Submit(cmd)
+		if r.PendingLen() != 0 {
+			t.Fatalf("%s: command admitted to the queue", name)
+		}
+	}
+	// The cluster path stays live even when a client injects poison before
+	// real traffic.
+	c := newKVCluster(t)
+	c.Submit(0, model.Value(batchMagic+"wedge"))
+	good := kv.Command("r1", "SET", "k", "v")
+	c.Submit(0, good)
+	if err := c.Drain(10); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Replica(0).SM.(*kv.Store).Get("k"); v != "v" {
+		t.Fatalf("k = %q, want %q", v, "v")
 	}
 }
 
@@ -108,8 +211,8 @@ func TestClusterSingleCommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if decided != cmd {
-		t.Fatalf("decided %q, want the submitted command", decided)
+	if cmds := Commands(decided); len(cmds) != 1 || cmds[0] != cmd {
+		t.Fatalf("decided %v, want the submitted command", cmds)
 	}
 	if err := c.CheckConsistency(); err != nil {
 		t.Fatal(err)
@@ -208,5 +311,123 @@ func TestDrainGivesUp(t *testing.T) {
 func TestErrorsExported(t *testing.T) {
 	if !errors.Is(fmt.Errorf("wrap: %w", ErrDiverged), ErrDiverged) {
 		t.Error("ErrDiverged must support errors.Is")
+	}
+}
+
+// A batched cluster drains k commands in ~k/batch instances, not k.
+func TestClusterBatchedDrain(t *testing.T) {
+	c := newKVCluster(t)
+	c.SetBatchSize(8)
+	const k = 40
+	for i := 0; i < k; i++ {
+		c.Submit(0, kv.Command(fmt.Sprintf("req-%d", i), "SET", fmt.Sprintf("k%d", i), "v"))
+	}
+	instances := 0
+	for c.PendingTotal() > 0 {
+		if _, err := c.RunInstance(); err != nil {
+			t.Fatal(err)
+		}
+		if instances++; instances > k {
+			t.Fatal("runaway instance loop")
+		}
+	}
+	if instances > k/8+1 {
+		t.Errorf("%d commands took %d instances at batch size 8", k, instances)
+	}
+	if got := c.Replica(0).Log.Len(); got != k {
+		t.Errorf("log length = %d, want %d individual entries", got, k)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	store := c.Replica(3).SM.(*kv.Store)
+	if store.Len() != k {
+		t.Errorf("store has %d keys, want %d", store.Len(), k)
+	}
+}
+
+// A Byzantine member cannot break log consistency or starve the batched
+// pipeline: live replicas drain and agree.
+func TestClusterByzantineMember(t *testing.T) {
+	c := newKVCluster(t)
+	c.SetBatchSize(4)
+	if err := c.SetByzantine(3, adversary.Equivocate{A: "evil-a", B: "evil-b"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		c.Submit(0, kv.Command(fmt.Sprintf("req-%d", i), "SET", fmt.Sprintf("k%d", i), "v"))
+	}
+	if err := c.Drain(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	ref := c.Replica(0).SM.(*kv.Store).Snapshot()
+	for i := 1; i < 3; i++ {
+		got := c.Replica(model.PID(i)).SM.(*kv.Store).Snapshot()
+		if len(got) != len(ref) {
+			t.Fatalf("replica %d store size %d != %d", i, len(got), len(ref))
+		}
+	}
+}
+
+// A crashed member freezes as a prefix while the rest of the cluster keeps
+// deciding (class-3 parameterization with f = 1).
+func TestClusterCrashedMember(t *testing.T) {
+	params := core.Params{
+		N: 6, B: 1, F: 1, TD: 4,
+		Flag:       model.FlagPhase,
+		FLV:        flv.NewClass3(6, 4, 1, false),
+		Selector:   selector.NewAll(6),
+		UseHistory: true,
+	}
+	c, err := NewCluster(params, func(model.PID) StateMachine { return kv.NewStore() }, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetBatchSize(4)
+	c.Submit(0, kv.Command("before", "SET", "a", "1"))
+	if _, err := c.RunInstance(); err != nil {
+		t.Fatal(err)
+	}
+	frozen := c.Replica(2).Log.Len()
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		c.Submit(0, kv.Command(fmt.Sprintf("after-%d", i), "SET", "b", fmt.Sprintf("%d", i)))
+	}
+	if err := c.Drain(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Replica(2).Log.Len(); got != frozen {
+		t.Errorf("crashed member's log grew: %d → %d", frozen, got)
+	}
+	if c.Replica(0).Log.Len() <= frozen {
+		t.Error("live members did not keep deciding")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fault injection respects the parameterization's budgets.
+func TestClusterFaultBudget(t *testing.T) {
+	c := newKVCluster(t) // n=4, b=1, f=0
+	if err := c.SetByzantine(3, adversary.Silent{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetByzantine(2, adversary.Silent{}); !errors.Is(err, ErrFaultBudget) {
+		t.Errorf("second Byzantine member err = %v, want ErrFaultBudget", err)
+	}
+	if err := c.Crash(0); !errors.Is(err, ErrFaultBudget) {
+		t.Errorf("crash with f=0 err = %v, want ErrFaultBudget", err)
+	}
+	if err := c.Crash(3); err == nil {
+		t.Error("crashing a Byzantine member accepted")
+	}
+	if err := c.SetByzantine(7, adversary.Silent{}); err == nil {
+		t.Error("out-of-range member accepted")
 	}
 }
