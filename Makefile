@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke bench-json fmt fmt-check vet ci
+
+# Iteration budget for bench-json; CI uses the fast single pass.
+BENCHTIME ?= 1x
 
 build:
 	$(GO) build ./...
@@ -20,6 +23,15 @@ bench:
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Pipeline benchmark artifacts: BENCH_pipeline.txt is the raw
+# benchstat-compatible output, BENCH_pipeline.json the parsed summary.
+# Redirect instead of piping through tee so a failing benchmark fails the
+# target (no pipefail in POSIX make shells).
+bench-json:
+	$(GO) test -bench=SMRPipelined -benchtime=$(BENCHTIME) -run='^$$' . > BENCH_pipeline.txt
+	cat BENCH_pipeline.txt
+	$(GO) run ./cmd/benchjson < BENCH_pipeline.txt > BENCH_pipeline.json
 
 fmt:
 	gofmt -w .

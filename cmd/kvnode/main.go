@@ -4,6 +4,14 @@
 // Each instance decides a whole batch of queued commands (up to -max-batch),
 // so pipelined client writes are amortized over one 3-round agreement.
 //
+// With -pipeline W > 1, up to W consensus instances run concurrently
+// (PBFT-style pipelining): in-flight instances propose disjoint slices of
+// the pending queue, decisions are buffered and committed strictly in
+// instance order, and each committed instance's transport buffers are
+// released. -adaptive-batch sizes every proposal from the queue depth and
+// an EWMA of observed instance latency, so light load gets small batches
+// and low latency while bursts fill batches and the pipeline.
+//
 // A 4-node local cluster:
 //
 //	go run ./cmd/kvnode -id 0 -n 4 -listen 127.0.0.1:7100 -client 127.0.0.1:7200 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 &
@@ -52,6 +60,8 @@ func main() {
 		peersFlag = flag.String("peers", "", "comma-separated consensus addresses, in pid order")
 		authSeed  = flag.Int64("auth-seed", 42, "cluster authentication seed (must match on all nodes)")
 		maxBatch  = flag.Int("max-batch", smr.MaxBatchSize, "max commands decided per consensus instance")
+		pipeline  = flag.Int("pipeline", 4, "max concurrent consensus instances (1 = serial)")
+		adaptive  = flag.Bool("adaptive-batch", true, "size batches from queue depth and observed instance latency")
 	)
 	flag.Parse()
 
@@ -92,17 +102,42 @@ func main() {
 	store := kv.NewStore()
 	replica := smr.NewReplica(model.PID(*id), store)
 	replica.SetMaxBatch(*maxBatch)
+	depth := *pipeline
+	if depth < 1 {
+		depth = 1
+	}
+	var ctrl *smr.AdaptiveBatch
+	if *adaptive {
+		ctrl = smr.NewAdaptiveBatch(smr.AdaptiveConfig{
+			MaxBatch: *maxBatch,
+			MaxDepth: depth,
+			// Instance latency is observed in milliseconds; the good case
+			// is ~2 rounds under the 50ms base timeout.
+			BaseLatency: 100,
+		})
+		replica.SetBatchSizer(ctrl)
+	}
 
 	ln, err := net.Listen("tcp", *client)
 	if err != nil {
 		log.Fatalf("kvnode: client listen: %v", err)
 	}
 	defer ln.Close()
-	log.Printf("kvnode %d: consensus on %s, clients on %s", *id, node.Addr(), ln.Addr())
+	log.Printf("kvnode %d: consensus on %s, clients on %s, pipeline depth %d",
+		*id, node.Addr(), ln.Addr(), depth)
 
 	var stopping atomic.Bool
 	go serveClients(ln, replica, store, &stopping)
-	go runInstances(node, replica, params, &stopping)
+	d := &dispatcher{
+		node: node, replica: replica, params: params,
+		ctrl: ctrl, depth: depth, next: 1,
+	}
+	d.commits = smr.NewCommitQueue(replica, 1, func(instance uint64, _ model.Value, resps []string) {
+		node.ReleaseInstance(instance)
+		log.Printf("kvnode: instance %d decided %d command(s), log length %d",
+			instance, len(resps), replica.Log.Len())
+	})
+	go d.run(&stopping)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -111,33 +146,83 @@ func main() {
 	log.Printf("kvnode %d: shutting down", *id)
 }
 
-// runInstances drives consensus instances sequentially: a new instance
-// starts when this replica has pending commands or when peers have already
-// begun it.
-func runInstances(node *transport.Node, replica *smr.Replica, params core.Params, stopping *atomic.Bool) {
-	instance := uint64(1)
+// dispatcher drives the pipelined instance schedule: a pool of up to depth
+// workers runs concurrent RunProc calls, proposals claim disjoint slices of
+// the pending queue, and decisions flow through an smr.CommitQueue so a
+// later instance that decides first waits for its predecessors.
+type dispatcher struct {
+	node    *transport.Node
+	replica *smr.Replica
+	params  core.Params
+	ctrl    *smr.AdaptiveBatch
+	depth   int
+	commits *smr.CommitQueue
+
+	// next is single-writer state of the run loop; worker goroutines get
+	// their instance number by value and never touch it.
+	next uint64
+}
+
+// run starts instances while there is unclaimed pending work or while peers
+// have already begun the next instance (joining keeps a lagging replica in
+// lockstep with proposers).
+func (d *dispatcher) run(stopping *atomic.Bool) {
+	sem := make(chan struct{}, d.depth)
 	for !stopping.Load() {
-		if replica.PendingLen() == 0 && !node.HasInstance(instance) {
-			time.Sleep(10 * time.Millisecond)
+		queue := d.replica.PendingLen()
+		join := d.node.HasInstance(d.next)
+		if d.commits.Unclaimed() == 0 && !join {
+			time.Sleep(5 * time.Millisecond)
 			continue
 		}
-		proposal := replica.Proposal()
-		proc, err := core.NewProcess(node.ID(), proposal, params)
-		if err != nil {
-			log.Printf("kvnode: building process: %v", err)
-			return
+		// Adaptive window: a backlog of one command gets one instance, not
+		// depth speculative ones.
+		if d.ctrl != nil && !join && len(sem) >= d.ctrl.Depth(queue) {
+			time.Sleep(5 * time.Millisecond)
+			continue
 		}
-		decided, err := node.RunProc(instance, proc, 400, 6)
+		sem <- struct{}{} // caps in-flight instances at depth
+		instance := d.next
+		d.next++
+		proposal := d.commits.Claim(instance, 0)
+		go func(instance uint64, proposal model.Value) {
+			defer func() { <-sem }()
+			d.decideInstance(instance, proposal, stopping)
+		}(instance, proposal)
+	}
+}
+
+// decideInstance runs one instance to its decision (retrying while peers
+// are down or slow) and hands it to the in-order committer. It must always
+// deliver a decision eventually: the commit queue cannot advance past a
+// missing instance, so giving up would wedge every later commit.
+func (d *dispatcher) decideInstance(instance uint64, proposal model.Value, stopping *atomic.Bool) {
+	start := time.Now()
+	for !stopping.Load() {
+		proc, err := core.NewProcess(d.node.ID(), proposal, d.params)
 		if err != nil {
-			// Peers may be down or slow: retry the same instance.
+			// A rejected proposal (never expected: params are validated and
+			// Proposal yields admissible values) must not wedge the commit
+			// queue — fall back to NoOp; if even that fails the
+			// configuration is broken beyond local repair.
+			if proposal != smr.NoOp {
+				log.Printf("kvnode: instance %d: building process: %v (retrying as NoOp)", instance, err)
+				proposal = smr.NoOp
+				continue
+			}
+			log.Fatalf("kvnode: instance %d: building process: %v", instance, err)
+		}
+		decided, err := d.node.RunProc(instance, proc, 400, 6)
+		if err != nil {
 			log.Printf("kvnode: instance %d: %v (retrying)", instance, err)
 			time.Sleep(100 * time.Millisecond)
 			continue
 		}
-		resps := replica.Commit(decided)
-		log.Printf("kvnode: instance %d decided %d command(s), log length %d",
-			instance, len(resps), replica.Log.Len())
-		instance++
+		if d.ctrl != nil {
+			d.ctrl.Observe(float64(time.Since(start).Milliseconds()))
+		}
+		d.commits.Deliver(instance, decided)
+		return
 	}
 }
 

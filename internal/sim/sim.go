@@ -519,16 +519,23 @@ func (e *Engine) deliver(r model.Round, mode Mode, sent map[model.PID]map[model.
 // Run executes rounds until every correct process decides or MaxRounds is
 // reached, then audits the execution.
 func (e *Engine) Run() Result {
-	for {
-		if e.allCorrectDecided() {
-			break
-		}
-		if !e.Step() {
-			break
-		}
+	for !e.Done() {
+		e.Step()
 	}
 	return e.result()
 }
+
+// Done reports whether the execution is finished: every correct process has
+// decided, or the round budget is exhausted. External schedulers (the SMR
+// pipeline) interleave Step calls across several engines and poll Done to
+// harvest finished instances.
+func (e *Engine) Done() bool {
+	return e.allCorrectDecided() || int(e.r) > e.cfg.MaxRounds
+}
+
+// Result audits the execution so far. It is normally called once Done
+// reports true; calling it earlier audits the partial execution.
+func (e *Engine) Result() Result { return e.result() }
 
 func (e *Engine) allCorrectDecided() bool {
 	for _, p := range model.AllPIDs(e.n) {

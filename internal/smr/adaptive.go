@@ -1,0 +1,140 @@
+package smr
+
+import (
+	"math"
+	"sync"
+)
+
+// AdaptiveConfig parameterizes an AdaptiveBatch controller.
+type AdaptiveConfig struct {
+	// MaxBatch caps the batch size (default MaxBatchSize).
+	MaxBatch int
+	// MaxDepth is the pipeline depth budget W the controller sizes
+	// against (default 4).
+	MaxDepth int
+	// Alpha is the EWMA smoothing factor in (0, 1]; higher reacts faster
+	// (default 0.25).
+	Alpha float64
+	// BaseLatency is the expected per-instance latency under light load,
+	// in whatever unit Observe is fed (simulated rounds for the in-memory
+	// cluster, milliseconds for the TCP runtime). Latencies above it push
+	// batch sizes up to amortize the slower instances (default 3, the
+	// good-case round count of a 3-round phase).
+	BaseLatency float64
+}
+
+// AdaptiveBatch sizes proposals from the current queue depth and an EWMA of
+// observed instance latency, replacing the static SetMaxBatch policy:
+//
+//   - Light load (queue ≤ depth) yields singleton batches and a shallow
+//     pipeline, so a lone command pays one instance of latency and nothing
+//     waits for a batch window to fill.
+//   - Bursts yield batches sized to drain the backlog within the pipeline
+//     depth budget, saturating at MaxBatch.
+//   - Rising observed latency (contention, bad periods, slow peers)
+//     multiplies batch sizes further: when instances are expensive, each
+//     one should carry more commands.
+//
+// The controller implements BatchSizer and is safe for concurrent use —
+// proposal sizing on the scheduler goroutine races with latency
+// observations from committers.
+type AdaptiveBatch struct {
+	cfg AdaptiveConfig
+
+	mu   sync.Mutex
+	ewma float64
+}
+
+// NewAdaptiveBatch builds a controller, applying config defaults.
+func NewAdaptiveBatch(cfg AdaptiveConfig) *AdaptiveBatch {
+	if cfg.MaxBatch <= 0 || cfg.MaxBatch > MaxBatchSize {
+		cfg.MaxBatch = MaxBatchSize
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 4
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.25
+	}
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = 3
+	}
+	return &AdaptiveBatch{cfg: cfg}
+}
+
+// Observe feeds one completed instance's latency into the EWMA.
+func (a *AdaptiveBatch) Observe(latency float64) {
+	if latency <= 0 || math.IsNaN(latency) || math.IsInf(latency, 0) {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ewma == 0 {
+		a.ewma = latency
+		return
+	}
+	a.ewma += a.cfg.Alpha * (latency - a.ewma)
+}
+
+// Latency returns the current EWMA of instance latency (0 before the first
+// observation).
+func (a *AdaptiveBatch) Latency() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ewma
+}
+
+// latencyFactor scales batches by observed slowness, clamped to [1, 4]: a
+// network running at base latency gets no inflation; one 4x slower gets
+// 4x-larger batches (and therefore 4x fewer instances per command).
+func (a *AdaptiveBatch) latencyFactor() float64 {
+	a.mu.Lock()
+	ewma := a.ewma
+	a.mu.Unlock()
+	if ewma <= a.cfg.BaseLatency {
+		return 1
+	}
+	f := ewma / a.cfg.BaseLatency
+	if f > 4 {
+		f = 4
+	}
+	return f
+}
+
+// BatchSize implements BatchSizer: the batch that drains queueDepth within
+// the pipeline depth budget, inflated by the latency factor and clamped to
+// [1, MaxBatch].
+func (a *AdaptiveBatch) BatchSize(queueDepth int) int {
+	if queueDepth <= 0 {
+		return 1
+	}
+	perInstance := (queueDepth + a.cfg.MaxDepth - 1) / a.cfg.MaxDepth
+	size := int(math.Ceil(float64(perInstance) * a.latencyFactor()))
+	if size < 1 {
+		size = 1
+	}
+	if size > a.cfg.MaxBatch {
+		size = a.cfg.MaxBatch
+	}
+	return size
+}
+
+// Depth returns the effective pipeline depth for the given backlog: enough
+// in-flight instances to cover the queue at the current batch size, at
+// most MaxDepth, and at least 1. A single queued command therefore runs
+// unpipelined (no speculative NoOp instances), while a burst fills the
+// window.
+func (a *AdaptiveBatch) Depth(queueDepth int) int {
+	if queueDepth <= 0 {
+		return 1
+	}
+	size := a.BatchSize(queueDepth)
+	depth := (queueDepth + size - 1) / size
+	if depth > a.cfg.MaxDepth {
+		depth = a.cfg.MaxDepth
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return depth
+}

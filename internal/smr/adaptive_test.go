@@ -1,0 +1,143 @@
+package smr
+
+import (
+	"fmt"
+	"testing"
+
+	"genconsensus/internal/kv"
+	"genconsensus/internal/model"
+)
+
+func TestAdaptiveBatchSizing(t *testing.T) {
+	ctrl := NewAdaptiveBatch(AdaptiveConfig{MaxBatch: 64, MaxDepth: 4, BaseLatency: 3})
+	// Light load: singleton batches, no pipelining.
+	if got := ctrl.BatchSize(1); got != 1 {
+		t.Errorf("BatchSize(1) = %d, want 1", got)
+	}
+	if got := ctrl.Depth(1); got != 1 {
+		t.Errorf("Depth(1) = %d, want 1", got)
+	}
+	if got := ctrl.Depth(0); got != 1 {
+		t.Errorf("Depth(0) = %d, want 1", got)
+	}
+	// Moderate backlog: sized to drain within the depth budget.
+	if got := ctrl.BatchSize(40); got != 10 {
+		t.Errorf("BatchSize(40) = %d, want 10 (40/depth 4)", got)
+	}
+	if got := ctrl.Depth(40); got != 4 {
+		t.Errorf("Depth(40) = %d, want the full window", got)
+	}
+	// Burst: saturates at MaxBatch.
+	if got := ctrl.BatchSize(10000); got != 64 {
+		t.Errorf("BatchSize(10000) = %d, want the 64 cap", got)
+	}
+}
+
+func TestAdaptiveLatencyInflation(t *testing.T) {
+	ctrl := NewAdaptiveBatch(AdaptiveConfig{MaxBatch: 128, MaxDepth: 4, Alpha: 1, BaseLatency: 3})
+	base := ctrl.BatchSize(40)
+	// Observed latency at baseline: no inflation.
+	ctrl.Observe(3)
+	if got := ctrl.BatchSize(40); got != base {
+		t.Errorf("baseline latency inflated batches: %d -> %d", base, got)
+	}
+	// 3x slower instances: batches grow ~3x to amortize.
+	ctrl.Observe(9)
+	if got := ctrl.BatchSize(40); got != 3*base {
+		t.Errorf("BatchSize(40) at 3x latency = %d, want %d", got, 3*base)
+	}
+	// Inflation is clamped (4x) and capped at MaxBatch.
+	ctrl.Observe(3000)
+	if got := ctrl.BatchSize(40); got != 4*base {
+		t.Errorf("BatchSize(40) clamped = %d, want %d", got, 4*base)
+	}
+	if got := ctrl.BatchSize(1000); got != 128 {
+		t.Errorf("BatchSize(1000) = %d, want the MaxBatch cap", got)
+	}
+}
+
+func TestAdaptiveEWMA(t *testing.T) {
+	ctrl := NewAdaptiveBatch(AdaptiveConfig{Alpha: 0.5})
+	if got := ctrl.Latency(); got != 0 {
+		t.Errorf("fresh EWMA = %v", got)
+	}
+	ctrl.Observe(10)
+	if got := ctrl.Latency(); got != 10 {
+		t.Errorf("first observation = %v, want 10", got)
+	}
+	ctrl.Observe(20)
+	if got := ctrl.Latency(); got != 15 {
+		t.Errorf("EWMA = %v, want 15", got)
+	}
+	// Garbage observations are ignored.
+	ctrl.Observe(-1)
+	ctrl.Observe(0)
+	if got := ctrl.Latency(); got != 15 {
+		t.Errorf("EWMA after garbage = %v, want 15", got)
+	}
+}
+
+func TestAdaptiveConfigDefaults(t *testing.T) {
+	ctrl := NewAdaptiveBatch(AdaptiveConfig{})
+	if ctrl.cfg.MaxBatch != MaxBatchSize || ctrl.cfg.MaxDepth != 4 ||
+		ctrl.cfg.Alpha != 0.25 || ctrl.cfg.BaseLatency != 3 {
+		t.Errorf("defaults not applied: %+v", ctrl.cfg)
+	}
+	if ctrl := NewAdaptiveBatch(AdaptiveConfig{MaxBatch: MaxBatchSize + 1}); ctrl.cfg.MaxBatch != MaxBatchSize {
+		t.Errorf("MaxBatch not clamped: %d", ctrl.cfg.MaxBatch)
+	}
+}
+
+// An adaptive cluster stays shallow and singleton under light load, and
+// widens to the full window under a burst — while remaining consistent.
+func TestPipelineAdaptive(t *testing.T) {
+	c, err := NewCluster(pbftParams(4, 1), func(model.PID) StateMachine {
+		return kv.NewStore()
+	}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewAdaptiveBatch(AdaptiveConfig{MaxBatch: 16, MaxDepth: 4})
+	c.SetAdaptive(ctrl)
+
+	// A lone command: one unpipelined instance carrying one command.
+	c.Submit(0, kv.Command("light-req", "SET", "light", "v"))
+	p := NewPipeline(c, 4)
+	if err := p.Drain(10); err != nil {
+		t.Fatal(err)
+	}
+	light := p.Stats()
+	if light.MaxInFlight != 1 {
+		t.Errorf("light load MaxInFlight = %d, want 1", light.MaxInFlight)
+	}
+	if light.Instances != 1 || light.Committed != 1 {
+		t.Errorf("light load ran %d instances / %d commands, want 1/1",
+			light.Instances, light.Committed)
+	}
+
+	// A burst: the window fills and batches grow.
+	for i := 0; i < 64; i++ {
+		c.Submit(0, kv.Command(fmt.Sprintf("burst-%d", i), "SET", fmt.Sprintf("bk%d", i), "v"))
+	}
+	if err := p.Drain(80); err != nil {
+		t.Fatal(err)
+	}
+	burst := p.Stats()
+	if burst.MaxInFlight != 4 {
+		t.Errorf("burst MaxInFlight = %d, want the full window", burst.MaxInFlight)
+	}
+	if ctrl.Latency() <= 0 {
+		t.Error("controller observed no instance latencies")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if c.PendingTotal() != 0 {
+		t.Errorf("pending = %d", c.PendingTotal())
+	}
+	// SetAdaptive(nil) restores static sizing.
+	c.SetAdaptive(nil)
+	if c.controller() != nil {
+		t.Error("controller not cleared")
+	}
+}

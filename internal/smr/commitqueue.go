@@ -1,0 +1,105 @@
+package smr
+
+import (
+	"sync"
+
+	"genconsensus/internal/model"
+)
+
+// CommitQueue is the in-order commit discipline for one replica driven by a
+// real (transport-backed) pipelined dispatcher: proposals claim disjoint
+// slices of the pending queue, decisions may be delivered out of instance
+// order, and commits are applied strictly in instance order. It is the
+// runtime counterpart of the bookkeeping Pipeline does for the simulator
+// (Pipeline's version stays separate: it commits at every replica of a
+// Cluster and is entangled with engine stepping and tick stats), shared by
+// cmd/kvnode and the transport tests.
+//
+// Claim accounting is a liveness-first heuristic: a committed instance
+// releases exactly the claim it took, even when the decided batch (possibly
+// a peer's, or a Byzantine winner) removed a different number of commands
+// from the local queue. Releasing the original claim guarantees the offset
+// returns to zero once the window drains, so no pending command can starve
+// behind a stale claim; the price is transient duplicate proposals when
+// queues diverge across replicas, which is safe — duplicate log entries are
+// deduplicated by the state machine's request ids (see
+// TestClusterDeduplication).
+type CommitQueue struct {
+	replica *Replica
+	// onCommit observes each applied instance (logging, transport buffer
+	// release). Called in instance order, under the queue lock.
+	onCommit func(instance uint64, decided model.Value, resps []string)
+
+	mu         sync.Mutex
+	nextCommit uint64
+	claimed    int
+	claims     map[uint64]int
+	decisions  map[uint64]model.Value
+}
+
+// NewCommitQueue builds the queue; firstInstance is the next instance
+// number expected to commit. onCommit may be nil.
+func NewCommitQueue(r *Replica, firstInstance uint64, onCommit func(uint64, model.Value, []string)) *CommitQueue {
+	return &CommitQueue{
+		replica:    r,
+		onCommit:   onCommit,
+		nextCommit: firstInstance,
+		claims:     make(map[uint64]int),
+		decisions:  make(map[uint64]model.Value),
+	}
+}
+
+// Claim builds instance's proposal from the first unclaimed queue slice
+// (Replica.ProposalAt with the current claim offset) and records its claim.
+// limit ≤ 0 uses the replica's own sizing.
+func (q *CommitQueue) Claim(instance uint64, limit int) model.Value {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	proposal, claim := q.replica.ProposalAt(q.claimed, limit)
+	q.claimed += claim
+	q.claims[instance] = claim
+	return proposal
+}
+
+// Unclaimed reports how much of the pending queue no in-flight instance
+// has claimed — the dispatcher's "is there work for one more instance"
+// signal.
+func (q *CommitQueue) Unclaimed() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.replica.PendingLen() - q.claimed
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Deliver hands in one instance's decision and flushes the in-order
+// prefix: each consecutive instance from nextCommit on whose decision has
+// arrived is committed to the replica, reported to onCommit and has its
+// claim released. Later decisions stay buffered until the gap fills. It
+// returns the number of instances committed by this call.
+func (q *CommitQueue) Deliver(instance uint64, decided model.Value) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.decisions[instance] = decided
+	committed := 0
+	for {
+		v, ok := q.decisions[q.nextCommit]
+		if !ok {
+			return committed
+		}
+		delete(q.decisions, q.nextCommit)
+		resps := q.replica.Commit(v)
+		if q.onCommit != nil {
+			q.onCommit(q.nextCommit, v, resps)
+		}
+		q.claimed -= q.claims[q.nextCommit]
+		if q.claimed < 0 {
+			q.claimed = 0
+		}
+		delete(q.claims, q.nextCommit)
+		q.nextCommit++
+		committed++
+	}
+}

@@ -1,0 +1,253 @@
+package smr
+
+import (
+	"fmt"
+	"testing"
+
+	"genconsensus/internal/adversary"
+	"genconsensus/internal/core"
+	"genconsensus/internal/flv"
+	"genconsensus/internal/kv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/selector"
+)
+
+func newPipelinedKVCluster(t *testing.T, seed int64) *Cluster {
+	t.Helper()
+	c, err := NewCluster(pbftParams(4, 1), func(model.PID) StateMachine {
+		return kv.NewStore()
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func submitN(c *Cluster, n int, tag string) {
+	for i := 0; i < n; i++ {
+		c.Submit(0, kv.Command(fmt.Sprintf("%s-req-%d", tag, i),
+			"SET", fmt.Sprintf("%s-k%d", tag, i), fmt.Sprintf("v%d", i)))
+	}
+}
+
+// A pipelined drain produces exactly the state a serial drain would: every
+// command applied, logs identical, queues empty.
+func TestPipelineDrainBasic(t *testing.T) {
+	c := newPipelinedKVCluster(t, 21)
+	c.SetBatchSize(4)
+	const k = 32
+	submitN(c, k, "basic")
+	p := NewPipeline(c, 4)
+	if err := p.Drain(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if c.PendingTotal() != 0 {
+		t.Errorf("pending = %d after drain", c.PendingTotal())
+	}
+	store := c.Replica(2).SM.(*kv.Store)
+	for i := 0; i < k; i++ {
+		if v, ok := store.Get(fmt.Sprintf("basic-k%d", i)); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("basic-k%d = %q, %v", i, v, ok)
+		}
+	}
+	stats := p.Stats()
+	if stats.MaxInFlight < 2 {
+		t.Errorf("MaxInFlight = %d, window never overlapped", stats.MaxInFlight)
+	}
+	if stats.Committed != k {
+		t.Errorf("Committed = %d, want %d", stats.Committed, k)
+	}
+}
+
+// Disjoint proposal slices: a window of W instances drains W distinct
+// batches, so k commands at batch b need ~k/b instances, not W*k/b.
+func TestPipelineDisjointSlices(t *testing.T) {
+	c := newPipelinedKVCluster(t, 22)
+	c.SetBatchSize(8)
+	const k = 64
+	submitN(c, k, "slices")
+	p := NewPipeline(c, 4)
+	if err := p.Drain(k); err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Stats()
+	if stats.Instances > k/8+2 {
+		t.Errorf("%d commands at batch 8 took %d instances; slices overlap", k, stats.Instances)
+	}
+	if got := c.Replica(0).Log.Len(); got != k {
+		t.Errorf("log length = %d, want %d (no duplicate decisions expected here)", got, k)
+	}
+}
+
+// The in-order commit queue: instance k+1 decides first, its decision is
+// buffered (logs untouched, claim still held), and only once instance k
+// decides do both commit — in instance order.
+func TestPipelineOutOfOrderCommit(t *testing.T) {
+	c := newPipelinedKVCluster(t, 23)
+	c.SetBatchSize(2)
+	submitN(c, 4, "ooo")
+	p := NewPipeline(c, 2)
+
+	// Start the window by hand: instance 1 claims pending[0:2], instance 2
+	// claims pending[2:4].
+	if err := p.start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.start(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.order) != 2 {
+		t.Fatalf("order = %v", p.order)
+	}
+	first, second := p.order[0], p.order[1]
+	claimedBefore := p.claimed
+
+	// Drive ONLY the later instance to its decision.
+	laterEngine := p.inflight[second].engine
+	for !laterEngine.Done() {
+		laterEngine.Step()
+	}
+	if err := p.harvest(); err != nil {
+		t.Fatal(err)
+	}
+	if _, buffered := p.decided[second]; !buffered {
+		t.Fatal("later decision not buffered")
+	}
+	p.commitReady()
+	if got := c.Replica(0).Log.Len(); got != 0 {
+		t.Fatalf("later instance committed before earlier one: log length %d", got)
+	}
+	if p.claimed != claimedBefore {
+		t.Fatalf("claim released before commit: %d -> %d", claimedBefore, p.claimed)
+	}
+
+	// Now let the earlier instance finish: both must apply, in order.
+	earlierEngine := p.inflight[first].engine
+	for !earlierEngine.Done() {
+		earlierEngine.Step()
+	}
+	if err := p.harvest(); err != nil {
+		t.Fatal(err)
+	}
+	if p.stats.OutOfOrder == 0 {
+		t.Error("OutOfOrder stat did not record the buffered decision")
+	}
+	p.commitReady()
+	if got := c.Replica(0).Log.Len(); got != 4 {
+		t.Fatalf("log length = %d, want 4 after in-order flush", got)
+	}
+	if p.claimed != 0 {
+		t.Errorf("claimed = %d after all commits", p.claimed)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// In-order means the earlier instance's slice occupies the log prefix.
+	log := c.Replica(1).Log.Snapshot()
+	wantPrefix := kv.Command("ooo-req-0", "SET", "ooo-k0", "v0")
+	if log[0] != wantPrefix {
+		t.Errorf("log[0] = %q, want the first submitted command", log[0])
+	}
+}
+
+// A Byzantine member is active in two overlapping instances at once;
+// consistency and liveness must survive.
+func TestPipelineByzantineOverlap(t *testing.T) {
+	for _, strat := range []adversary.Strategy{
+		adversary.Equivocate{A: "evil-a", B: "evil-b"},
+		adversary.Silent{},
+	} {
+		t.Run(strat.Name(), func(t *testing.T) {
+			c := newPipelinedKVCluster(t, 24)
+			c.SetBatchSize(2)
+			if err := c.SetByzantine(3, strat); err != nil {
+				t.Fatal(err)
+			}
+			submitN(c, 12, "byz")
+			p := NewPipeline(c, 3)
+			if err := p.Drain(60); err != nil {
+				t.Fatal(err)
+			}
+			if p.Stats().MaxInFlight < 2 {
+				t.Errorf("adversary never faced overlapping instances (MaxInFlight=%d)",
+					p.Stats().MaxInFlight)
+			}
+			if err := c.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+			store := c.Replica(0).SM.(*kv.Store)
+			for i := 0; i < 12; i++ {
+				if _, ok := store.Get(fmt.Sprintf("byz-k%d", i)); !ok {
+					t.Fatalf("byz-k%d missing", i)
+				}
+			}
+		})
+	}
+}
+
+// Crash + Byzantine faults injected mid-pipeline (between drains) leave a
+// consistent prefix, exactly as in the serial path.
+func TestPipelineFaultsMidDrain(t *testing.T) {
+	params := core.Params{
+		N: 6, B: 1, F: 1, TD: 4,
+		Flag:       model.FlagPhase,
+		FLV:        flv.NewClass3(6, 4, 1, false),
+		Selector:   selector.NewAll(6),
+		UseHistory: true,
+	}
+	c, err := NewCluster(params, func(model.PID) StateMachine { return kv.NewStore() }, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetBatchSize(4)
+	p := NewPipeline(c, 4)
+	submitN(c, 16, "pre")
+	if err := p.Drain(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetByzantine(5, adversary.Equivocate{A: "x", B: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	submitN(c, 16, "post")
+	if err := p.Drain(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance criterion: at the same batch size, W=4 decides the same
+// workload in at most half the simulated rounds of W=1 (i.e. ≥ 2x
+// decided-commands/sec with rounds as the time axis).
+func TestPipelineTickSpeedup(t *testing.T) {
+	ticks := func(w int) int {
+		t.Helper()
+		c := newPipelinedKVCluster(t, 26)
+		c.SetBatchSize(1)
+		const k = 24
+		submitN(c, k, "speed")
+		p := NewPipeline(c, w)
+		if err := p.Drain(2 * k); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Stats().Committed; got != k {
+			t.Fatalf("W=%d committed %d, want %d", w, got, k)
+		}
+		return p.Stats().Ticks
+	}
+	serial := ticks(1)
+	pipelined := ticks(4)
+	if pipelined*2 > serial {
+		t.Errorf("W=4 took %d ticks vs %d at W=1; want ≥ 2x overlap", pipelined, serial)
+	}
+}

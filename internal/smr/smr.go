@@ -4,20 +4,41 @@
 // of instances of consensus"; §7: the framework the authors list as future
 // work).
 //
-// Throughput comes from batching: one consensus instance decides a whole
-// Batch of client commands, amortizing the 3-round agreement cost over up
-// to MaxBatchSize commands. Replicas encode their pending queues with
-// EncodeBatch (a deterministic, length-prefixed codec bounded by
-// MaxBatchSize/MaxBatchBytes), the batch-aware CommandChooser prefers the
-// largest valid non-NoOp batch among the received votes (rejecting
-// malformed or oversized Byzantine batches), and Commit applies every
-// command of a decided batch in order. The replicated log stores individual
-// commands, so log positions and consistency checks are batch-transparent.
+// Throughput comes from batching and pipelining, the two classic SMR
+// amortizations:
 //
-// The package is runtime-agnostic: Cluster drives instances through the
-// in-memory simulator (one engine per instance, with optional crash and
-// Byzantine members), while the cmd/kvnode binary reuses Replica
-// bookkeeping over the TCP transport.
+//   - Batching: one consensus instance decides a whole Batch of client
+//     commands, amortizing the 3-round agreement cost over up to
+//     MaxBatchSize commands. Replicas encode their pending queues with
+//     EncodeBatch (a deterministic, length-prefixed codec bounded by
+//     MaxBatchSize/MaxBatchBytes), the batch-aware CommandChooser prefers
+//     the largest valid non-NoOp batch among the received votes (rejecting
+//     malformed or oversized Byzantine batches), and Commit applies every
+//     command of a decided batch in order. The replicated log stores
+//     individual commands, so log positions and consistency checks are
+//     batch-transparent.
+//
+//   - Pipelining: a Pipeline runs up to W consensus instances concurrently
+//     (PBFT-style), so instance k+1's selection rounds overlap instance k's
+//     decision round instead of waiting for it. In-flight instances drain
+//     disjoint slices of the pending queue (Replica.ProposalAt), decisions
+//     may arrive out of instance order, and an in-order commit queue holds
+//     decided-but-not-yet-applicable batches so that every replica applies
+//     instance k strictly before instance k+1. Safety therefore never
+//     depends on the pipeline: reordered decisions change only when a batch
+//     commits, not what the log contains.
+//
+// On top of both sits adaptive batch sizing: an AdaptiveBatch controller
+// replaces the static SetMaxBatch bound, sizing each proposal from the
+// current queue depth and an EWMA of observed instance latency. Light load
+// yields singleton batches and a shallow pipeline (minimum latency); bursts
+// yield full batches and the full pipeline depth (maximum throughput).
+//
+// The package is runtime-agnostic: Cluster and Pipeline drive instances
+// through the in-memory simulator (one engine per instance, stepped
+// round-robin so concurrent instances truly overlap in simulated time, with
+// optional crash and Byzantine members), while the cmd/kvnode binary reuses
+// Replica bookkeeping and the same controller over the TCP transport.
 package smr
 
 import (
@@ -57,6 +78,17 @@ func (l *Log) Append(cmd model.Value) {
 	l.entries = append(l.entries, cmd)
 }
 
+// AppendBatch adds a decided command sequence under one lock acquisition:
+// committing a 128-command batch locks once, not 128 times.
+func (l *Log) AppendBatch(cmds []model.Value) {
+	if len(cmds) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, cmds...)
+}
+
 // Len returns the number of decided commands.
 func (l *Log) Len() int {
 	l.mu.RLock()
@@ -92,6 +124,14 @@ type Replica struct {
 	pending  []model.Value
 	queued   map[model.Value]struct{}
 	maxBatch int
+	sizer    BatchSizer
+}
+
+// BatchSizer sizes one proposal from the current queue depth. The
+// AdaptiveBatch controller implements it; a nil sizer falls back to the
+// static SetMaxBatch bound.
+type BatchSizer interface {
+	BatchSize(queueDepth int) int
 }
 
 // NewReplica builds a replica around the given state machine, proposing
@@ -119,6 +159,15 @@ func (r *Replica) SetMaxBatch(n int) {
 	}
 }
 
+// SetBatchSizer installs a dynamic batch controller consulted on every
+// proposal (still capped by SetMaxBatch). A nil sizer restores the static
+// bound.
+func (r *Replica) SetBatchSizer(s BatchSizer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sizer = s
+}
+
 // Submit queues a client command for proposal. Inadmissible commands are
 // dropped at the door: duplicates already queued (an honest replica never
 // builds a batch with repeated entries; the state machine additionally
@@ -141,38 +190,68 @@ func (r *Replica) Submit(cmd model.Value) {
 }
 
 // Proposal returns the value the replica proposes for the next instance: a
-// batch of the first k pending commands (k ≤ the SetMaxBatch bound, encoded
-// size ≤ MaxBatchBytes), or NoOp when the queue is empty. The queue is not
-// consumed — commands leave it only when committed. Submit admits only
-// commands that fit a batch, so the encoding cannot fail; the raw-head
-// fallback is pure defence (a plain command still weighs 1 with the
-// chooser, so the queue can never wedge).
+// batch of the first k pending commands (k ≤ the SetMaxBatch bound or the
+// installed BatchSizer's answer, encoded size ≤ MaxBatchBytes), or NoOp
+// when the queue is empty. The queue is not consumed — commands leave it
+// only when committed.
 func (r *Replica) Proposal() model.Value {
+	v, _ := r.ProposalAt(0, 0)
+	return v
+}
+
+// ProposalAt builds a proposal from the disjoint queue slice starting at
+// offset skip: up to limit commands of pending[skip:]. The pipeline assigns
+// each in-flight instance a distinct offset so that W concurrent instances
+// drain W disjoint slices instead of all proposing the queue head. A limit
+// ≤ 0 means "replica's own sizing" (BatchSizer if installed, else the
+// SetMaxBatch bound); either way the SetMaxBatch cap applies. It returns
+// the proposal (NoOp when the slice is empty) and the number of commands
+// claimed by it.
+//
+// Submit admits only commands that fit a batch, so the encoding cannot
+// fail; the raw-head fallback is pure defence (a plain command still weighs
+// 1 with the chooser, so the queue can never wedge).
+func (r *Replica) ProposalAt(skip, limit int) (model.Value, int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.pending) == 0 {
-		return NoOp
+	if skip < 0 {
+		skip = 0
 	}
+	if skip >= len(r.pending) {
+		return NoOp, 0
+	}
+	slice := r.pending[skip:]
 	k := r.maxBatch
-	if k > len(r.pending) {
-		k = len(r.pending)
+	if r.sizer != nil {
+		if s := r.sizer.BatchSize(len(slice)); s < k {
+			k = s
+		}
+	}
+	if limit > 0 && limit < k {
+		k = limit
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(slice) {
+		k = len(slice)
 	}
 	// Shrink until the encoding fits MaxBatchBytes. Encoding overhead per
 	// command is small (len + 2 separators), so budget on raw bytes first.
 	for ; k > 1; k-- {
 		total := len(batchMagic) + 8
-		for _, cmd := range r.pending[:k] {
+		for _, cmd := range slice[:k] {
 			total += len(cmd) + 8
 		}
 		if total <= MaxBatchBytes {
 			break
 		}
 	}
-	batch, err := EncodeBatch(r.pending[:k])
+	batch, err := EncodeBatch(slice[:k])
 	if err != nil {
-		return r.pending[0]
+		return slice[0], 1
 	}
-	return batch
+	return batch, k
 }
 
 // Commit records a decided value: each command it stands for (every command
@@ -197,9 +276,9 @@ func (r *Replica) Commit(decided model.Value) []string {
 	}
 	r.pending = kept
 	r.mu.Unlock()
+	r.Log.AppendBatch(cmds)
 	responses := make([]string, 0, len(cmds))
 	for _, cmd := range cmds {
-		r.Log.Append(cmd)
 		if cmd == NoOp {
 			responses = append(responses, "")
 			continue
@@ -221,13 +300,22 @@ func (r *Replica) PendingLen() int {
 // crashed (silent from the next instance on) or Byzantine (driven by an
 // adversary.Strategy instead of the honest algorithm), within the f and b
 // budgets of the parameterization.
+//
+// Cluster is safe for concurrent use: Submit, PendingTotal and the fault
+// injectors may race with a running Pipeline (concurrent client load is the
+// whole point of pipelining). Instance execution itself is driven by one
+// scheduler goroutine — RunInstance and Pipeline.Drain must not be invoked
+// concurrently with each other.
 type Cluster struct {
-	params    core.Params
-	replicas  []*Replica
+	params   core.Params
+	replicas []*Replica
+	seed     int64
+
+	mu        sync.Mutex
 	instance  uint64
-	seed      int64
 	byzantine map[model.PID]adversary.Strategy
 	crashed   map[model.PID]bool
+	ctrl      *AdaptiveBatch
 }
 
 // Errors returned by the cluster.
@@ -314,10 +402,35 @@ func (c *Cluster) SetBatchSize(n int) {
 	}
 }
 
+// SetAdaptive installs an adaptive batch controller on every replica and
+// feeds it observed instance latencies (in rounds), replacing the static
+// SetMaxBatch policy. A nil controller restores static sizing.
+func (c *Cluster) SetAdaptive(ctrl *AdaptiveBatch) {
+	c.mu.Lock()
+	c.ctrl = ctrl
+	c.mu.Unlock()
+	for _, r := range c.replicas {
+		if ctrl == nil {
+			r.SetBatchSizer(nil)
+		} else {
+			r.SetBatchSizer(ctrl)
+		}
+	}
+}
+
+// controller returns the installed adaptive controller, if any.
+func (c *Cluster) controller() *AdaptiveBatch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctrl
+}
+
 // SetByzantine replaces member p's honest process with the given adversary
 // strategy from the next instance on. The b budget of the parameterization
 // is enforced.
 func (c *Cluster) SetByzantine(p model.PID, s adversary.Strategy) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if int(p) < 0 || int(p) >= c.params.N {
 		return fmt.Errorf("smr: no member %d", p)
 	}
@@ -335,6 +448,8 @@ func (c *Cluster) SetByzantine(p model.PID, s adversary.Strategy) error {
 // member stops proposing, sending and committing). The f budget of the
 // parameterization is enforced.
 func (c *Cluster) Crash(p model.PID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if int(p) < 0 || int(p) >= c.params.N {
 		return fmt.Errorf("smr: no member %d", p)
 	}
@@ -348,11 +463,25 @@ func (c *Cluster) Crash(p model.PID) error {
 	return nil
 }
 
-// live reports whether member p participates in commits: honest and not
-// crashed.
-func (c *Cluster) live(p model.PID) bool {
+// liveLocked reports whether member p participates in commits: honest and
+// not crashed. Callers hold c.mu.
+func (c *Cluster) liveLocked(p model.PID) bool {
 	_, byz := c.byzantine[p]
 	return !byz && !c.crashed[p]
+}
+
+// liveSet snapshots the current live membership, so iteration over replicas
+// does not hold the cluster lock across replica operations.
+func (c *Cluster) liveSet() map[model.PID]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := make(map[model.PID]bool, len(c.replicas))
+	for _, r := range c.replicas {
+		if c.liveLocked(r.ID) {
+			set[r.ID] = true
+		}
+	}
+	return set
 }
 
 // Submit delivers a client command following the PBFT client model: the
@@ -361,8 +490,9 @@ func (c *Cluster) live(p model.PID) bool {
 // once TD-b replicas propose NoOp, the FLV function rightfully treats NoOp
 // as potentially locked and the chooser is never consulted.
 func (c *Cluster) Submit(_ model.PID, cmd model.Value) {
+	live := c.liveSet()
 	for _, r := range c.replicas {
-		if c.live(r.ID) {
+		if live[r.ID] {
 			r.Submit(cmd)
 		}
 	}
@@ -370,13 +500,109 @@ func (c *Cluster) Submit(_ model.PID, cmd model.Value) {
 
 // PendingTotal counts queued commands across live replicas.
 func (c *Cluster) PendingTotal() int {
+	live := c.liveSet()
 	total := 0
 	for _, r := range c.replicas {
-		if c.live(r.ID) {
+		if live[r.ID] {
 			total += r.PendingLen()
 		}
 	}
 	return total
+}
+
+// maxPendingLive returns the deepest live queue: the backlog the pipeline
+// sizes its batches and depth against.
+func (c *Cluster) maxPendingLive() int {
+	live := c.liveSet()
+	maxQ := 0
+	for _, r := range c.replicas {
+		if live[r.ID] {
+			if n := r.PendingLen(); n > maxQ {
+				maxQ = n
+			}
+		}
+	}
+	return maxQ
+}
+
+// startEngine snapshots the current membership and proposals into a fresh
+// simulation engine for the next instance. Each honest live replica
+// proposes the queue slice [skip, skip+limit) (see Replica.ProposalAt);
+// skip 0 / limit 0 reproduces the serial head-of-queue proposal. It returns
+// the engine, the instance number it was assigned and the largest claim any
+// replica made on its queue.
+func (c *Cluster) startEngine(skip, limit int) (*sim.Engine, uint64, int, error) {
+	c.mu.Lock()
+	c.instance++
+	instance := c.instance
+	byz := make(map[model.PID]adversary.Strategy, len(c.byzantine))
+	for p, s := range c.byzantine {
+		byz[p] = s
+	}
+	crashed := make(map[model.PID]bool, len(c.crashed))
+	for p := range c.crashed {
+		crashed[p] = true
+	}
+	c.mu.Unlock()
+
+	inits := make(map[model.PID]model.Value, len(c.replicas))
+	crashes := make(map[model.PID]sim.CrashPlan, len(crashed))
+	claim := 0
+	for _, r := range c.replicas {
+		if _, ok := byz[r.ID]; ok {
+			continue
+		}
+		proposal, took := r.ProposalAt(skip, limit)
+		inits[r.ID] = proposal
+		if took > claim {
+			claim = took
+		}
+		if crashed[r.ID] {
+			crashes[r.ID] = sim.CrashPlan{Round: 1}
+		}
+	}
+	engine, err := sim.New(sim.Config{
+		Params:    c.params,
+		Inits:     inits,
+		Byzantine: byz,
+		Crashes:   crashes,
+		Seed:      c.seed + int64(instance),
+	})
+	if err != nil {
+		return nil, instance, 0, fmt.Errorf("smr: instance %d: %w", instance, err)
+	}
+	return engine, instance, claim, nil
+}
+
+// decisionOf audits a finished engine and extracts its decision.
+func decisionOf(instance uint64, res sim.Result) (model.Value, error) {
+	if !res.AllDecided {
+		return model.NoValue, fmt.Errorf("%w: instance %d after %d rounds",
+			ErrInstanceFailed, instance, res.Rounds)
+	}
+	if len(res.Violations) > 0 {
+		return model.NoValue, fmt.Errorf("smr: instance %d violations: %s",
+			instance, strings.Join(res.Violations, "; "))
+	}
+	for _, v := range res.Decisions {
+		return v, nil
+	}
+	return model.NoValue, fmt.Errorf("%w: instance %d produced no decision", ErrInstanceFailed, instance)
+}
+
+// commitDecision applies a decided value at every live replica and feeds
+// the observed instance latency to the adaptive controller, if one is
+// installed.
+func (c *Cluster) commitDecision(decided model.Value, latencyRounds int) {
+	live := c.liveSet()
+	for _, r := range c.replicas {
+		if live[r.ID] {
+			r.Commit(decided)
+		}
+	}
+	if ctrl := c.controller(); ctrl != nil && latencyRounds > 0 {
+		ctrl.Observe(float64(latencyRounds))
+	}
 }
 
 // RunInstance executes one consensus instance over the replicas' current
@@ -384,49 +610,16 @@ func (c *Cluster) PendingTotal() int {
 // fall silent in round 1; Byzantine members run their strategies. It
 // returns the decided value (a batch, a plain command or NoOp).
 func (c *Cluster) RunInstance() (model.Value, error) {
-	inits := make(map[model.PID]model.Value, len(c.replicas))
-	byz := make(map[model.PID]adversary.Strategy, len(c.byzantine))
-	crashes := make(map[model.PID]sim.CrashPlan, len(c.crashed))
-	for _, r := range c.replicas {
-		if s, ok := c.byzantine[r.ID]; ok {
-			byz[r.ID] = s
-			continue
-		}
-		inits[r.ID] = r.Proposal()
-		if c.crashed[r.ID] {
-			crashes[r.ID] = sim.CrashPlan{Round: 1}
-		}
-	}
-	c.instance++
-	engine, err := sim.New(sim.Config{
-		Params:    c.params,
-		Inits:     inits,
-		Byzantine: byz,
-		Crashes:   crashes,
-		Seed:      c.seed + int64(c.instance),
-	})
+	engine, instance, _, err := c.startEngine(0, 0)
 	if err != nil {
-		return model.NoValue, fmt.Errorf("smr: instance %d: %w", c.instance, err)
+		return model.NoValue, err
 	}
 	res := engine.Run()
-	if !res.AllDecided {
-		return model.NoValue, fmt.Errorf("%w: instance %d after %d rounds",
-			ErrInstanceFailed, c.instance, res.Rounds)
+	decided, err := decisionOf(instance, res)
+	if err != nil {
+		return model.NoValue, err
 	}
-	if len(res.Violations) > 0 {
-		return model.NoValue, fmt.Errorf("smr: instance %d violations: %s",
-			c.instance, strings.Join(res.Violations, "; "))
-	}
-	var decided model.Value
-	for _, v := range res.Decisions {
-		decided = v
-		break
-	}
-	for _, r := range c.replicas {
-		if c.live(r.ID) {
-			r.Commit(decided)
-		}
-	}
+	c.commitDecision(decided, res.Rounds)
 	return decided, nil
 }
 
@@ -452,10 +645,21 @@ func (c *Cluster) Drain(maxInstances int) error {
 // all live replica logs are identical, and every crashed replica's log is a
 // prefix of them. Byzantine members are unconstrained and skipped.
 func (c *Cluster) CheckConsistency() error {
+	live := c.liveSet()
+	c.mu.Lock()
+	byzSet := make(map[model.PID]bool, len(c.byzantine))
+	for p := range c.byzantine {
+		byzSet[p] = true
+	}
+	crashedSet := make(map[model.PID]bool, len(c.crashed))
+	for p := range c.crashed {
+		crashedSet[p] = true
+	}
+	c.mu.Unlock()
 	var ref []model.Value
 	haveRef := false
 	for _, r := range c.replicas {
-		if c.live(r.ID) {
+		if live[r.ID] {
 			ref = r.Log.Snapshot()
 			haveRef = true
 			break
@@ -465,11 +669,11 @@ func (c *Cluster) CheckConsistency() error {
 		return nil
 	}
 	for _, r := range c.replicas {
-		if _, byz := c.byzantine[r.ID]; byz {
+		if byzSet[r.ID] {
 			continue
 		}
 		log := r.Log.Snapshot()
-		if c.crashed[r.ID] {
+		if crashedSet[r.ID] {
 			if len(log) > len(ref) {
 				return fmt.Errorf("%w: crashed member %d has %d entries, live logs have %d",
 					ErrDiverged, r.ID, len(log), len(ref))

@@ -431,3 +431,139 @@ func TestClusterFaultBudget(t *testing.T) {
 		t.Error("out-of-range member accepted")
 	}
 }
+
+// AppendBatch appends a whole decided batch under one lock acquisition and
+// preserves order against Append.
+func TestLogAppendBatch(t *testing.T) {
+	var l Log
+	l.AppendBatch(nil) // no-op
+	if l.Len() != 0 {
+		t.Error("empty AppendBatch grew the log")
+	}
+	l.Append("a")
+	l.AppendBatch([]model.Value{"b", "c", "d"})
+	l.Append("e")
+	want := []model.Value{"a", "b", "c", "d", "e"}
+	got := l.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("log = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("log[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// ProposalAt slices the queue at an offset: the pipeline's disjoint
+// assignment of pending commands to in-flight instances.
+func TestReplicaProposalAt(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	var cmds []model.Value
+	for i := 0; i < 6; i++ {
+		c := kv.Command(fmt.Sprintf("r%d", i), "SET", "k", fmt.Sprintf("v%d", i))
+		cmds = append(cmds, c)
+		r.Submit(c)
+	}
+	// Slice [2, 2+2): the second window slot at batch 2.
+	v, claim := r.ProposalAt(2, 2)
+	if claim != 2 {
+		t.Fatalf("claim = %d, want 2", claim)
+	}
+	got, err := DecodeBatch(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != cmds[2] || got[1] != cmds[3] {
+		t.Fatalf("slice = %v, want commands 2..3", got)
+	}
+	// Beyond the queue: NoOp, no claim.
+	if v, claim := r.ProposalAt(6, 2); v != NoOp || claim != 0 {
+		t.Errorf("past-end proposal = %q claim %d, want NoOp/0", v, claim)
+	}
+	// Negative skip clamps to the head; limit 0 means replica sizing.
+	r.SetMaxBatch(3)
+	v, claim = r.ProposalAt(-1, 0)
+	if claim != 3 {
+		t.Fatalf("claim with maxBatch 3 = %d", claim)
+	}
+	if got, _ := DecodeBatch(v); got[0] != cmds[0] {
+		t.Errorf("negative skip did not clamp to the head")
+	}
+	// An installed sizer overrides the static bound (still capped by it).
+	r.SetBatchSizer(NewAdaptiveBatch(AdaptiveConfig{MaxBatch: 2, MaxDepth: 1}))
+	if _, claim := r.ProposalAt(0, 0); claim != 2 {
+		t.Errorf("sizer-driven claim = %d, want 2", claim)
+	}
+	r.SetBatchSizer(nil)
+	if _, claim := r.ProposalAt(0, 0); claim != 3 {
+		t.Errorf("claim after sizer removal = %d, want 3", claim)
+	}
+	// Proposal() is the skip-0 shorthand.
+	if v2 := r.Proposal(); v2 != v {
+		t.Errorf("Proposal() != ProposalAt(0, ...)")
+	}
+}
+
+// CommitQueue serializes out-of-order decision delivery into in-order
+// commits with claim accounting — the transport-side counterpart of the
+// Pipeline's commit discipline.
+func TestCommitQueueInOrder(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	var cmds []model.Value
+	for i := 0; i < 4; i++ {
+		c := kv.Command(fmt.Sprintf("q%d", i), "SET", fmt.Sprintf("qk%d", i), "v")
+		cmds = append(cmds, c)
+		r.Submit(c)
+	}
+	var committed []uint64
+	q := NewCommitQueue(r, 1, func(instance uint64, _ model.Value, _ []string) {
+		committed = append(committed, instance)
+	})
+	p1 := q.Claim(1, 2)
+	p2 := q.Claim(2, 2)
+	if q.Unclaimed() != 0 {
+		t.Fatalf("Unclaimed = %d with the whole queue claimed", q.Unclaimed())
+	}
+	// The slices are disjoint.
+	b1, err1 := DecodeBatch(p1)
+	b2, err2 := DecodeBatch(p2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b1[0] != cmds[0] || b2[0] != cmds[2] {
+		t.Fatalf("claims overlap: %v / %v", b1, b2)
+	}
+	// Instance 2's decision arrives first: buffered, nothing committed.
+	if got := q.Deliver(2, p2); got != 0 {
+		t.Fatalf("Deliver(2) committed %d instances early", got)
+	}
+	if r.Log.Len() != 0 {
+		t.Fatal("out-of-order decision reached the log")
+	}
+	// Instance 1 arrives: both flush, in order, claims released.
+	if got := q.Deliver(1, p1); got != 2 {
+		t.Fatalf("Deliver(1) committed %d instances, want 2", got)
+	}
+	if len(committed) != 2 || committed[0] != 1 || committed[1] != 2 {
+		t.Fatalf("commit order = %v", committed)
+	}
+	if r.Log.Len() != 4 {
+		t.Fatalf("log length = %d, want 4", r.Log.Len())
+	}
+	if head, _ := r.Log.Get(0); head != cmds[0] {
+		t.Fatalf("log[0] = %q, want instance 1's slice first", head)
+	}
+	if q.Unclaimed() != 0 || r.PendingLen() != 0 {
+		t.Errorf("queue not drained: unclaimed %d, pending %d", q.Unclaimed(), r.PendingLen())
+	}
+	// A NoOp decision for a claimed-empty instance releases its (zero)
+	// claim without touching the state machine.
+	q.Claim(3, 2)
+	if got := q.Deliver(3, NoOp); got != 1 {
+		t.Fatalf("NoOp delivery committed %d", got)
+	}
+	if r.Log.Len() != 5 {
+		t.Errorf("NoOp not appended: log length %d", r.Log.Len())
+	}
+}

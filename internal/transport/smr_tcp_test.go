@@ -163,3 +163,112 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 		t.Fatalf("post-restart disagreement: %q vs %q", v0, v1)
 	}
 }
+
+// TestPipelinedKVOverTCP drives the pipelined kvnode architecture
+// in-process: every node runs W concurrent consensus instances over
+// loopback TCP (disjoint queue slices, shared peer connections), buffers
+// out-of-order decisions and commits strictly in instance order, releasing
+// each instance's transport buffers after its commit. All logs must come
+// out identical and the instance maps empty.
+func TestPipelinedKVOverTCP(t *testing.T) {
+	const (
+		n         = 4
+		depth     = 3
+		batch     = 2
+		instances = 6 // 12 commands / batch
+	)
+	nodes := startCluster(t, n)
+	params := pbftParams(n, 1)
+	params.Chooser = smr.CommandChooser{}
+
+	replicas := make([]*smr.Replica, n)
+	for i := 0; i < n; i++ {
+		replicas[i] = smr.NewReplica(model.PID(i), kv.NewStore())
+		replicas[i].SetMaxBatch(batch)
+	}
+	for c := 0; c < instances*batch; c++ {
+		cmd := kv.Command(fmt.Sprintf("p%d", c), "SET", fmt.Sprintf("pk%d", c), fmt.Sprintf("pv%d", c))
+		for _, r := range replicas {
+			r.Submit(cmd)
+		}
+	}
+
+	// Per-node pipelined dispatcher: the shared smr.CommitQueue claims
+	// disjoint slices and serializes out-of-order decisions (the same
+	// discipline cmd/kvnode uses).
+	errs := make(chan error, n*depth)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		node, replica := nodes[i], replicas[i]
+		commits := smr.NewCommitQueue(replica, 1, func(instance uint64, _ model.Value, _ []string) {
+			node.ReleaseInstance(instance)
+		})
+		var mu sync.Mutex
+		next := uint64(1)
+		for w := 0; w < depth; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					if next > instances {
+						mu.Unlock()
+						return
+					}
+					instance := next
+					next++
+					proposal := commits.Claim(instance, batch)
+					mu.Unlock()
+
+					proc, err := core.NewProcess(node.ID(), proposal, params)
+					if err != nil {
+						errs <- err
+						return
+					}
+					decided, err := node.RunProc(instance, proc, 200, 6)
+					if err != nil {
+						errs <- fmt.Errorf("node %d instance %d: %w", node.ID(), instance, err)
+						return
+					}
+					commits.Deliver(instance, decided)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Logs identical across nodes, every command decided exactly once.
+	ref := replicas[0].Log.Snapshot()
+	if len(ref) != instances*batch {
+		t.Fatalf("log length = %d, want %d", len(ref), instances*batch)
+	}
+	for i := 1; i < n; i++ {
+		log := replicas[i].Log.Snapshot()
+		if len(log) != len(ref) {
+			t.Fatalf("replica %d log length %d != %d", i, len(log), len(ref))
+		}
+		for j := range ref {
+			if log[j] != ref[j] {
+				t.Fatalf("replica %d log[%d] = %q, want %q", i, j, log[j], ref[j])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		store := replicas[i].SM.(*kv.Store)
+		for c := 0; c < instances*batch; c++ {
+			if v, ok := store.Get(fmt.Sprintf("pk%d", c)); !ok || v != fmt.Sprintf("pv%d", c) {
+				t.Fatalf("replica %d: pk%d = %q, %v", i, c, v, ok)
+			}
+		}
+		if got := nodes[i].InstanceCount(); got != 0 {
+			t.Errorf("node %d still buffers %d instances after full release", i, got)
+		}
+		if replicas[i].PendingLen() != 0 {
+			t.Errorf("replica %d still has %d pending", i, replicas[i].PendingLen())
+		}
+	}
+}

@@ -11,6 +11,11 @@
 // the transition. Message integrity and sender authenticity are protected
 // with pairwise HMACs (internal/auth).
 //
+// A node supports pipelined SMR: several RunProc calls for distinct
+// instances may run concurrently (receive buffers are per-instance and
+// peer-connection writes are serialized), and ReleaseInstance reclaims the
+// buffers of committed instances so the instance map stays bounded.
+//
 // Lifecycle follows the style guide: Listen spawns the accept and read
 // goroutines; Close signals them and waits for them to exit.
 package transport
@@ -49,6 +54,12 @@ type Config struct {
 	// WindowRounds bounds how far ahead of the current round buffered
 	// messages may be (default 4096); protects against hostile floods.
 	WindowRounds int
+	// WindowInstances bounds how far ahead of the release watermark an
+	// instance id may be and still get a receive buffer (default 4096).
+	// Without it an authenticated Byzantine member could allocate one
+	// instanceBuf per fabricated future instance id and run the node out
+	// of memory.
+	WindowInstances int
 }
 
 // Errors returned by the transport.
@@ -62,14 +73,24 @@ type Node struct {
 	cfg Config
 	ln  net.Listener
 
-	mu        sync.Mutex
-	conns     map[model.PID]net.Conn
-	inbound   map[net.Conn]struct{}
-	instances map[uint64]*instanceBuf
-	closed    bool
+	mu          sync.Mutex
+	conns       map[model.PID]*peerConn
+	inbound     map[net.Conn]struct{}
+	instances   map[uint64]*instanceBuf
+	released    uint64 // high-watermark of released instance ids
+	hasReleased bool   // distinguishes "nothing released" from watermark 0
+	closed      bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// peerConn pairs an outbound connection with a write lock: concurrent
+// RunProc calls (pipelined instances) share the peer connection, and
+// interleaved WriteFrame calls would corrupt the frame stream.
+type peerConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
 }
 
 type instanceBuf struct {
@@ -100,6 +121,11 @@ func Listen(cfg Config) (*Node, error) {
 	if cfg.WindowRounds == 0 {
 		cfg.WindowRounds = 4096
 	}
+	// <= 0 takes the default rather than wrapping negative values through
+	// the uint64 window arithmetic (which would silently disable the bound).
+	if cfg.WindowInstances <= 0 {
+		cfg.WindowInstances = 4096
+	}
 	addr := cfg.ListenAddr
 	if addr == "" {
 		addr = cfg.Peers[cfg.ID]
@@ -111,7 +137,7 @@ func Listen(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:       cfg,
 		ln:        ln,
-		conns:     make(map[model.PID]net.Conn),
+		conns:     make(map[model.PID]*peerConn),
 		inbound:   make(map[net.Conn]struct{}),
 		instances: make(map[uint64]*instanceBuf),
 		stop:      make(chan struct{}),
@@ -139,7 +165,7 @@ func (n *Node) Close() error {
 	close(n.stop)
 	err := n.ln.Close()
 	for _, c := range n.conns {
-		_ = c.Close()
+		_ = c.conn.Close()
 	}
 	for c := range n.inbound {
 		_ = c.Close()
@@ -226,6 +252,20 @@ func (n *Node) deliverLocal(env wire.Envelope) {
 	if n.closed {
 		return
 	}
+	// Released instances are finished business: buffering a straggler would
+	// resurrect the map entry and leak it. Far-future instances are hostile
+	// or confused — without the upper bound, each fabricated id would
+	// allocate a buffer the release watermark never reaches.
+	base := uint64(0)
+	if n.hasReleased {
+		if env.Instance <= n.released {
+			return
+		}
+		base = n.released
+	}
+	if env.Instance > base+uint64(n.cfg.WindowInstances) {
+		return
+	}
 	buf, ok := n.instances[env.Instance]
 	if !ok {
 		buf = newInstanceBuf()
@@ -264,7 +304,7 @@ func (n *Node) send(dst model.PID, env wire.Envelope) {
 		n.mu.Unlock()
 		return
 	}
-	conn, ok := n.conns[dst]
+	pc, ok := n.conns[dst]
 	n.mu.Unlock()
 	if !ok {
 		addr := n.cfg.Peers[dst]
@@ -280,21 +320,26 @@ func (n *Node) send(dst model.PID, env wire.Envelope) {
 		}
 		if existing, raced := n.conns[dst]; raced {
 			_ = c.Close()
-			conn = existing
+			pc = existing
 		} else {
-			n.conns[dst] = c
-			conn = c
+			pc = &peerConn{conn: c}
+			n.conns[dst] = pc
 		}
 		n.mu.Unlock()
 	}
 	payload := wire.Encode(env)
-	if err := wire.WriteFrame(conn, payload); err != nil {
+	// One frame at a time per peer: concurrent instances share the
+	// connection, and a torn frame would desynchronize the whole stream.
+	pc.wmu.Lock()
+	err := wire.WriteFrame(pc.conn, payload)
+	pc.wmu.Unlock()
+	if err != nil {
 		n.mu.Lock()
-		if n.conns[dst] == conn {
+		if n.conns[dst] == pc {
 			delete(n.conns, dst)
 		}
 		n.mu.Unlock()
-		_ = conn.Close()
+		_ = pc.conn.Close()
 	}
 }
 
@@ -398,9 +443,38 @@ func (n *Node) RunProc(instance uint64, proc round.Proc, maxRounds, extraRounds 
 
 // HasInstance reports whether any message for the instance has been
 // buffered — used by SMR dispatchers to join instances started by peers.
+// Released instances report false.
 func (n *Node) HasInstance(instance uint64) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	_, ok := n.instances[instance]
 	return ok
+}
+
+// ReleaseInstance frees the receive buffers of the given instance and every
+// earlier one, and refuses future messages for them — without it the
+// instance map grows one entry per consensus instance forever. SMR
+// dispatchers call it after committing an instance; since commits are
+// strictly in instance order, the high-watermark semantics match exactly
+// and bound the map by the pipeline depth.
+func (n *Node) ReleaseInstance(instance uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.hasReleased || instance > n.released {
+		n.released = instance
+	}
+	n.hasReleased = true
+	for id := range n.instances {
+		if id <= n.released {
+			delete(n.instances, id)
+		}
+	}
+}
+
+// InstanceCount reports how many instances currently hold receive buffers
+// (monitoring and leak tests).
+func (n *Node) InstanceCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.instances)
 }

@@ -295,3 +295,103 @@ func TestNoDecisionBudget(t *testing.T) {
 		t.Fatalf("err = %v, want ErrNoDecision", err)
 	}
 }
+
+// ReleaseInstance reclaims committed instances' receive buffers: without it
+// the instance map grows one entry per instance forever. The watermark also
+// refuses stragglers for released instances (a late peer's extra rounds
+// must not resurrect the entry).
+func TestReleaseInstanceShrinksMap(t *testing.T) {
+	nodes := startCluster(t, 2)
+	env := func(instance uint64) wire.Envelope {
+		e := wire.Envelope{Instance: instance, Round: 1, Sender: 1, Msg: model.Message{Vote: "v"}}
+		return e
+	}
+	// Buffer messages for instances 1..8 on node 0.
+	for id := uint64(1); id <= 8; id++ {
+		nodes[1].send(0, nodes[1].seal(env(id), 0))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for nodes[0].InstanceCount() < 8 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := nodes[0].InstanceCount(); got != 8 {
+		t.Fatalf("InstanceCount = %d, want 8", got)
+	}
+	// Committing in order releases prefixes: the map shrinks.
+	nodes[0].ReleaseInstance(5)
+	if got := nodes[0].InstanceCount(); got != 3 {
+		t.Fatalf("InstanceCount after ReleaseInstance(5) = %d, want 3", got)
+	}
+	if nodes[0].HasInstance(5) || !nodes[0].HasInstance(6) {
+		t.Error("watermark released the wrong instances")
+	}
+	// A straggler for a released instance is dropped, not re-buffered.
+	nodes[1].send(0, nodes[1].seal(env(3), 0))
+	time.Sleep(50 * time.Millisecond)
+	if nodes[0].HasInstance(3) {
+		t.Error("released instance resurrected by a straggler")
+	}
+	if got := nodes[0].InstanceCount(); got != 3 {
+		t.Errorf("InstanceCount after straggler = %d, want 3", got)
+	}
+	// Releasing everything empties the map; out-of-order (lower) releases
+	// cannot move the watermark backwards.
+	nodes[0].ReleaseInstance(8)
+	nodes[0].ReleaseInstance(2)
+	if got := nodes[0].InstanceCount(); got != 0 {
+		t.Errorf("InstanceCount after full release = %d, want 0", got)
+	}
+	nodes[1].send(0, nodes[1].seal(env(7), 0))
+	time.Sleep(50 * time.Millisecond)
+	if nodes[0].HasInstance(7) {
+		t.Error("watermark moved backwards")
+	}
+	// Instance 0 is releasable too (the generic transport does not assume
+	// SMR's 1-based numbering).
+	nodes[1].send(0, nodes[1].seal(env(9), 0))
+	deadline = time.Now().Add(2 * time.Second)
+	for !nodes[0].HasInstance(9) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	nodes[0].ReleaseInstance(9)
+	if nodes[0].InstanceCount() != 0 {
+		t.Error("release of the newest instance left buffers behind")
+	}
+}
+
+// Far-future instance ids must not allocate receive buffers: an
+// authenticated Byzantine member could otherwise grow the instance map one
+// entry per fabricated id. Only (watermark, watermark+WindowInstances]
+// gets buffers.
+func TestInstanceWindowBoundsFloods(t *testing.T) {
+	nodes := startCluster(t, 2)
+	send := func(instance uint64) {
+		env := wire.Envelope{Instance: instance, Round: 1, Sender: 1, Msg: model.Message{Vote: "v"}}
+		nodes[1].send(0, nodes[1].seal(env, 0))
+	}
+	// In-window (default 4096) buffers; beyond it is dropped.
+	send(4096)
+	deadline := time.Now().Add(2 * time.Second)
+	for !nodes[0].HasInstance(4096) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !nodes[0].HasInstance(4096) {
+		t.Fatal("in-window instance not buffered")
+	}
+	send(4097)
+	send(1 << 40)
+	time.Sleep(50 * time.Millisecond)
+	if nodes[0].HasInstance(4097) || nodes[0].HasInstance(1<<40) {
+		t.Error("beyond-window instance allocated a buffer")
+	}
+	// The window slides with the release watermark.
+	nodes[0].ReleaseInstance(10)
+	send(4100)
+	deadline = time.Now().Add(2 * time.Second)
+	for !nodes[0].HasInstance(4100) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !nodes[0].HasInstance(4100) {
+		t.Error("window did not slide with the watermark")
+	}
+}

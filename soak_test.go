@@ -3,7 +3,10 @@ package genconsensus
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"genconsensus/internal/core"
 	"genconsensus/internal/flv"
@@ -256,4 +259,119 @@ func ExampleRun() {
 	)
 	fmt.Println(len(res.Violations), res.AllDecided)
 	// Output: 0 true
+}
+
+// TestSMRPipelinedSoak is the pipelined counterpart of TestSMRBatchedSoak:
+// a class-3 (n=6, b=1, f=1) cluster drains bursty concurrent client load
+// through a depth-4 pipeline with adaptive batching while one member
+// crashes and another turns Byzantine (rotating strategies) mid-run.
+// Submitters race the scheduler goroutine on purpose — under -race this is
+// the concurrency audit of the Replica queues and Cluster fault state — and
+// reordered decisions must never break log consistency or prefix agreement.
+func TestSMRPipelinedSoak(t *testing.T) {
+	strategies := []Strategy{
+		Silent(),
+		Equivocate("evil-a", "evil-b"),
+		RandomJunk("junk-1", "junk-2", "__noop__"),
+		ForgeTimestamp("forged"),
+		Mimic(),
+	}
+	for run := 0; run < len(strategies); run++ {
+		strat := strategies[run]
+		t.Run(strat.Name(), func(t *testing.T) {
+			params := core.Params{
+				N: 6, B: 1, F: 1, TD: 4,
+				Flag:       model.FlagPhase,
+				FLV:        flv.NewClass3(6, 4, 1, false),
+				Selector:   selector.NewAll(6),
+				UseHistory: true,
+			}
+			cluster, err := smr.NewCluster(params, func(model.PID) smr.StateMachine {
+				return kv.NewStore()
+			}, 200+int64(run))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster.SetAdaptive(smr.NewAdaptiveBatch(smr.AdaptiveConfig{
+				MaxBatch: 16, MaxDepth: 4,
+			}))
+			pipe := smr.NewPipeline(cluster, 4)
+
+			// Three clients submit bursty waves concurrently with the
+			// pipeline scheduler.
+			const perClient = 50
+			var wg sync.WaitGroup
+			for client := 0; client < 3; client++ {
+				wg.Add(1)
+				go func(client int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(run*10 + client)))
+					for i := 0; i < perClient; i++ {
+						cluster.Submit(0, kv.Command(
+							fmt.Sprintf("c%d-req-%d", client, i),
+							"SET", fmt.Sprintf("key-%d", rng.Intn(17)), fmt.Sprintf("val-%d-%d", client, i)))
+						if rng.Intn(8) == 0 {
+							runtime.Gosched()
+						}
+					}
+				}(client)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+
+			submittersDone := false
+			for wave := 0; ; wave++ {
+				switch wave {
+				case 2:
+					if err := cluster.SetByzantine(5, strat); err != nil {
+						t.Fatal(err)
+					}
+				case 4:
+					if err := cluster.Crash(0); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := pipe.Drain(600); err != nil {
+					t.Fatalf("wave %d: %v", wave, err)
+				}
+				if err := cluster.CheckConsistency(); err != nil {
+					t.Fatalf("wave %d: %v", wave, err)
+				}
+				if !submittersDone {
+					// An empty queue with submitters still running is not
+					// progress: yield to them instead of burning waves.
+					select {
+					case <-done:
+						submittersDone = true
+					case <-time.After(time.Millisecond):
+					}
+				}
+				if submittersDone && cluster.PendingTotal() == 0 {
+					break
+				}
+				if wave > 2000 {
+					t.Fatalf("soak did not drain: %d pending", cluster.PendingTotal())
+				}
+			}
+			if err := cluster.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+			if stats := pipe.Stats(); stats.MaxInFlight < 2 {
+				t.Errorf("pipeline never overlapped (MaxInFlight=%d)", stats.MaxInFlight)
+			}
+			// Live honest replicas converge to identical stores.
+			ref := cluster.Replica(1).SM.(*kv.Store).Snapshot()
+			for p := 2; p <= 4; p++ {
+				got := cluster.Replica(model.PID(p)).SM.(*kv.Store).Snapshot()
+				if len(got) != len(ref) {
+					t.Fatalf("replica %d: %d keys vs %d", p, len(got), len(ref))
+				}
+				for k, v := range ref {
+					if got[k] != v {
+						t.Fatalf("replica %d: %s = %q, want %q", p, k, got[k], v)
+					}
+				}
+			}
+		})
+	}
 }
