@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke bench-json bench-tcp fmt fmt-check vet ci
 
 # Iteration budget for bench-json; CI uses the fast single pass.
 BENCHTIME ?= 1x
@@ -32,6 +32,17 @@ bench-json:
 	$(GO) test -bench=SMRPipelined -benchtime=$(BENCHTIME) -run='^$$' . > BENCH_pipeline.txt
 	cat BENCH_pipeline.txt
 	$(GO) run ./cmd/benchjson < BENCH_pipeline.txt > BENCH_pipeline.json
+
+# TCP-level throughput benchmark (real loopback kvnode clusters, pipeline
+# depth swept) with snapshot-size metrics; same artifact pipeline as
+# bench-json.
+KVLOAD_DEPTHS ?= 1,2,4,8
+KVLOAD_CMDS ?= 128
+
+bench-tcp:
+	$(GO) run ./cmd/kvload -depths $(KVLOAD_DEPTHS) -cmds $(KVLOAD_CMDS) > BENCH_tcp.txt
+	cat BENCH_tcp.txt
+	$(GO) run ./cmd/benchjson < BENCH_tcp.txt > BENCH_tcp.json
 
 fmt:
 	gofmt -w .

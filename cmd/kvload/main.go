@@ -1,0 +1,182 @@
+// Command kvload is the TCP-level throughput benchmark (the ROADMAP's
+// "pipelined view of the wall clock"): for each pipeline depth W it stands
+// up a whole loopback kvnode cluster in-process (internal/node — the same
+// stack cmd/kvnode runs), drives client commands through the real client
+// TCP protocol, and measures wall-clock time until every replica has
+// applied everything.
+//
+// Output is `go test -bench` compatible text, so cmd/benchjson converts it
+// to JSON directly:
+//
+//	go run ./cmd/kvload -depths 1,2,4,8 -cmds 128 > BENCH_tcp.txt
+//	go run ./cmd/benchjson < BENCH_tcp.txt > BENCH_tcp.json
+//
+// Each line reports ns/op (one op = the whole load), cmds/sec, and
+// snapshot-bytes (the size of the final checkpoint, a snapshot-growth
+// metric CI tracks alongside throughput).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"genconsensus/internal/kv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/node"
+	"genconsensus/internal/snapshot"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 4, "cluster size")
+		b         = flag.Int("b", 1, "Byzantine fault tolerance")
+		cmds      = flag.Int("cmds", 128, "commands per run")
+		batch     = flag.Int("batch", 16, "max commands per instance")
+		depths    = flag.String("depths", "1,2,4,8", "comma-separated pipeline depths to sweep")
+		snapEvery = flag.Uint64("snapshot-interval", 4, "checkpoint interval (0 disables)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-run deadline")
+	)
+	flag.Parse()
+
+	fmt.Printf("goos: %s\n", runtime.GOOS)
+	fmt.Printf("goarch: %s\n", runtime.GOARCH)
+	fmt.Printf("pkg: genconsensus/cmd/kvload\n")
+	for _, field := range strings.Split(*depths, ",") {
+		depth, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || depth < 1 {
+			log.Fatalf("kvload: bad depth %q", field)
+		}
+		elapsed, snapBytes, err := run(*n, *b, depth, *batch, *cmds, *snapEvery, *timeout)
+		if err != nil {
+			log.Fatalf("kvload: W=%d: %v", depth, err)
+		}
+		perSec := float64(*cmds) / elapsed.Seconds()
+		fmt.Printf("BenchmarkTCPKVLoad/W=%d \t       1\t%12d ns/op\t%12.1f cmds/sec\t%12d snapshot-bytes\n",
+			depth, elapsed.Nanoseconds(), perSec, snapBytes)
+	}
+}
+
+// run measures one full load against a fresh cluster at the given pipeline
+// depth: wall-clock from the first client write until every replica has
+// applied every command.
+func run(n, b, depth, batch, cmds int, snapEvery uint64, timeout time.Duration) (time.Duration, int, error) {
+	nodes := make([]*node.Node, n)
+	peers := make(map[model.PID]string, n)
+	defer func() {
+		for _, nd := range nodes {
+			if nd != nil {
+				nd.Stop()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		nd, err := node.New(node.Config{
+			ID: model.PID(i), N: n, B: b,
+			ListenAddr:       "127.0.0.1:0",
+			ClientAddr:       "127.0.0.1:0",
+			AuthSeed:         7,
+			MaxBatch:         batch,
+			Pipeline:         depth,
+			SnapshotInterval: snapEvery,
+			AppliedKeep:      4096,
+			BaseTimeout:      40 * time.Millisecond,
+		}, kv.NewStore())
+		if err != nil {
+			return 0, 0, err
+		}
+		nodes[i] = nd
+		peers[model.PID(i)] = nd.Addr()
+	}
+	for _, nd := range nodes {
+		nd.SetPeers(peers)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+
+	lines := make([]string, cmds)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("CMD ld-%d SET lk-%d lv-%d", i, i, i)
+	}
+	payload := strings.Join(lines, "\n") + "\n"
+
+	start := time.Now()
+	// One pipelined client connection per replica (the kvctl mset shape).
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for _, nd := range nodes {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			if _, err := fmt.Fprint(conn, payload); err != nil {
+				errs <- err
+				return
+			}
+			sc := bufio.NewScanner(conn)
+			for range lines {
+				if !sc.Scan() {
+					errs <- fmt.Errorf("client stream to %s ended early", addr)
+					return
+				}
+				if sc.Text() != "QUEUED" {
+					errs <- fmt.Errorf("client write: %q", sc.Text())
+					return
+				}
+			}
+		}(nd.ClientAddr())
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return 0, 0, err
+	}
+
+	deadline := time.Now().Add(timeout)
+	for {
+		if allApplied(nodes, cmds) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("timed out: %d/%d keys on node 0",
+				nodes[0].Replica().SM.(*kv.Store).Len(), cmds)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	snapBytes := 0
+	if mgr := nodes[0].Manager(); mgr != nil {
+		if snap, _, ok := mgr.Latest(); ok {
+			snapBytes = len(snapshot.Encode(snap))
+		}
+	}
+	return elapsed, snapBytes, nil
+}
+
+// allApplied reports whether every replica's store holds every key.
+func allApplied(nodes []*node.Node, cmds int) bool {
+	for _, nd := range nodes {
+		store := nd.Replica().SM.(*kv.Store)
+		if store.Len() < cmds {
+			return false
+		}
+	}
+	return true
+}
+
+func init() { log.SetOutput(os.Stderr) }

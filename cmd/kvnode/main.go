@@ -1,22 +1,26 @@
-// Command kvnode is one replica of a TCP-replicated key-value store: PBFT
-// consensus instances (the class-3 instantiation) decide a shared command
-// log over the internal/transport runtime; the kv state machine applies it.
-// Each instance decides a whole batch of queued commands (up to -max-batch),
-// so pipelined client writes are amortized over one 3-round agreement.
+// Command kvnode is one replica of a TCP-replicated key-value store:
+// consensus instances (PBFT, or the class-3 generic algorithm when -f > 0)
+// decide a shared command log over the internal/transport runtime; the kv
+// state machine applies it. The heavy lifting lives in internal/node — this
+// binary only parses flags.
 //
-// With -pipeline W > 1, up to W consensus instances run concurrently
-// (PBFT-style pipelining): in-flight instances propose disjoint slices of
-// the pending queue, decisions are buffered and committed strictly in
-// instance order, and each committed instance's transport buffers are
-// released. -adaptive-batch sizes every proposal from the queue depth and
-// an EWMA of observed instance latency, so light load gets small batches
-// and low latency while bursts fill batches and the pipeline.
+// Each instance decides a whole batch of queued commands (up to
+// -max-batch); with -pipeline W > 1 up to W instances run concurrently,
+// and -adaptive-batch sizes proposals from queue depth and observed
+// latency.
+//
+// With -snapshot-interval K > 0 the node checkpoints its state machine
+// every K committed instances, truncates its log below the checkpoint
+// (bounded memory), serves the checkpoint to recovering peers over the
+// MAC-protected state-transfer exchange, and — on restart — fetches the
+// newest checkpoint that b+1 peers agree on and rejoins the pipeline at
+// its watermark instead of replaying a history that no longer exists.
+// -applied-keep bounds the duplicate-suppression table at each checkpoint.
 //
 // A 4-node local cluster:
 //
 //	go run ./cmd/kvnode -id 0 -n 4 -listen 127.0.0.1:7100 -client 127.0.0.1:7200 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 &
-//	go run ./cmd/kvnode -id 1 -n 4 -listen 127.0.0.1:7101 -client 127.0.0.1:7201 -peers ... &
-//	... (ids 2, 3)
+//	... (ids 1, 2, 3)
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201,127.0.0.1:7202,127.0.0.1:7203 set color green
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 get color
 //
@@ -29,25 +33,17 @@
 package main
 
 import (
-	"bufio"
 	"flag"
-	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"strings"
-	"sync/atomic"
 	"syscall"
-	"time"
 
-	"genconsensus/internal/core"
-	"genconsensus/internal/flv"
 	"genconsensus/internal/kv"
 	"genconsensus/internal/model"
-	"genconsensus/internal/selector"
+	"genconsensus/internal/node"
 	"genconsensus/internal/smr"
-	"genconsensus/internal/transport"
 )
 
 func main() {
@@ -55,6 +51,8 @@ func main() {
 		id        = flag.Int("id", 0, "this node's process id")
 		n         = flag.Int("n", 4, "cluster size")
 		b         = flag.Int("b", 1, "Byzantine fault tolerance (n must exceed 3b)")
+		f         = flag.Int("f", 0, "benign crash tolerance (0 = PBFT, >0 = class-3 generic)")
+		td        = flag.Int("td", 0, "decision threshold (0 = 2b+1)")
 		listen    = flag.String("listen", "127.0.0.1:7100", "consensus listen address")
 		client    = flag.String("client", "127.0.0.1:7200", "client listen address")
 		peersFlag = flag.String("peers", "", "comma-separated consensus addresses, in pid order")
@@ -62,6 +60,8 @@ func main() {
 		maxBatch  = flag.Int("max-batch", smr.MaxBatchSize, "max commands decided per consensus instance")
 		pipeline  = flag.Int("pipeline", 4, "max concurrent consensus instances (1 = serial)")
 		adaptive  = flag.Bool("adaptive-batch", true, "size batches from queue depth and observed instance latency")
+		snapEvery = flag.Uint64("snapshot-interval", 1024, "checkpoint every K committed instances (0 disables snapshots and recovery)")
+		keep      = flag.Int("applied-keep", 1<<16, "dedup-table entries kept at each checkpoint (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -74,223 +74,29 @@ func main() {
 		peers[model.PID(i)] = strings.TrimSpace(addr)
 	}
 
-	node, err := transport.Listen(transport.Config{
-		ID: model.PID(*id), N: *n,
-		Peers:         peers,
-		ListenAddr:    *listen,
-		AuthSeed:      *authSeed,
-		BaseTimeout:   50 * time.Millisecond,
-		TimeoutGrowth: 20 * time.Millisecond,
-	})
+	nd, err := node.New(node.Config{
+		ID: model.PID(*id), N: *n, B: *b, F: *f, TD: *td,
+		Peers:            peers,
+		ListenAddr:       *listen,
+		ClientAddr:       *client,
+		AuthSeed:         *authSeed,
+		MaxBatch:         *maxBatch,
+		Pipeline:         *pipeline,
+		Adaptive:         *adaptive,
+		SnapshotInterval: *snapEvery,
+		AppliedKeep:      *keep,
+		Logf:             log.Printf,
+	}, kv.NewStore())
 	if err != nil {
 		log.Fatalf("kvnode: %v", err)
 	}
-	defer node.Close()
-
-	params := core.Params{
-		N: *n, B: *b, F: 0, TD: 2**b + 1,
-		Flag:       model.FlagPhase,
-		FLV:        flv.NewPBFT(*n, *b),
-		Selector:   selector.NewAll(*n),
-		Chooser:    smr.CommandChooser{},
-		UseHistory: true,
-	}
-	if err := params.Validate(); err != nil {
-		log.Fatalf("kvnode: %v", err)
-	}
-
-	store := kv.NewStore()
-	replica := smr.NewReplica(model.PID(*id), store)
-	replica.SetMaxBatch(*maxBatch)
-	depth := *pipeline
-	if depth < 1 {
-		depth = 1
-	}
-	var ctrl *smr.AdaptiveBatch
-	if *adaptive {
-		ctrl = smr.NewAdaptiveBatch(smr.AdaptiveConfig{
-			MaxBatch: *maxBatch,
-			MaxDepth: depth,
-			// Instance latency is observed in milliseconds; the good case
-			// is ~2 rounds under the 50ms base timeout.
-			BaseLatency: 100,
-		})
-		replica.SetBatchSizer(ctrl)
-	}
-
-	ln, err := net.Listen("tcp", *client)
-	if err != nil {
-		log.Fatalf("kvnode: client listen: %v", err)
-	}
-	defer ln.Close()
-	log.Printf("kvnode %d: consensus on %s, clients on %s, pipeline depth %d",
-		*id, node.Addr(), ln.Addr(), depth)
-
-	var stopping atomic.Bool
-	go serveClients(ln, replica, store, &stopping)
-	d := &dispatcher{
-		node: node, replica: replica, params: params,
-		ctrl: ctrl, depth: depth, next: 1,
-	}
-	d.commits = smr.NewCommitQueue(replica, 1, func(instance uint64, _ model.Value, resps []string) {
-		node.ReleaseInstance(instance)
-		log.Printf("kvnode: instance %d decided %d command(s), log length %d",
-			instance, len(resps), replica.Log.Len())
-	})
-	go d.run(&stopping)
+	log.Printf("kvnode %d: consensus on %s, clients on %s, pipeline depth %d, snapshot interval %d",
+		*id, nd.Addr(), nd.ClientAddr(), *pipeline, *snapEvery)
+	nd.Start()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	stopping.Store(true)
 	log.Printf("kvnode %d: shutting down", *id)
-}
-
-// dispatcher drives the pipelined instance schedule: a pool of up to depth
-// workers runs concurrent RunProc calls, proposals claim disjoint slices of
-// the pending queue, and decisions flow through an smr.CommitQueue so a
-// later instance that decides first waits for its predecessors.
-type dispatcher struct {
-	node    *transport.Node
-	replica *smr.Replica
-	params  core.Params
-	ctrl    *smr.AdaptiveBatch
-	depth   int
-	commits *smr.CommitQueue
-
-	// next is single-writer state of the run loop; worker goroutines get
-	// their instance number by value and never touch it.
-	next uint64
-}
-
-// run starts instances while there is unclaimed pending work or while peers
-// have already begun the next instance (joining keeps a lagging replica in
-// lockstep with proposers).
-func (d *dispatcher) run(stopping *atomic.Bool) {
-	sem := make(chan struct{}, d.depth)
-	for !stopping.Load() {
-		queue := d.replica.PendingLen()
-		join := d.node.HasInstance(d.next)
-		if d.commits.Unclaimed() == 0 && !join {
-			time.Sleep(5 * time.Millisecond)
-			continue
-		}
-		// Adaptive window: a backlog of one command gets one instance, not
-		// depth speculative ones.
-		if d.ctrl != nil && !join && len(sem) >= d.ctrl.Depth(queue) {
-			time.Sleep(5 * time.Millisecond)
-			continue
-		}
-		sem <- struct{}{} // caps in-flight instances at depth
-		instance := d.next
-		d.next++
-		proposal := d.commits.Claim(instance, 0)
-		go func(instance uint64, proposal model.Value) {
-			defer func() { <-sem }()
-			d.decideInstance(instance, proposal, stopping)
-		}(instance, proposal)
-	}
-}
-
-// decideInstance runs one instance to its decision (retrying while peers
-// are down or slow) and hands it to the in-order committer. It must always
-// deliver a decision eventually: the commit queue cannot advance past a
-// missing instance, so giving up would wedge every later commit.
-func (d *dispatcher) decideInstance(instance uint64, proposal model.Value, stopping *atomic.Bool) {
-	start := time.Now()
-	for !stopping.Load() {
-		proc, err := core.NewProcess(d.node.ID(), proposal, d.params)
-		if err != nil {
-			// A rejected proposal (never expected: params are validated and
-			// Proposal yields admissible values) must not wedge the commit
-			// queue — fall back to NoOp; if even that fails the
-			// configuration is broken beyond local repair.
-			if proposal != smr.NoOp {
-				log.Printf("kvnode: instance %d: building process: %v (retrying as NoOp)", instance, err)
-				proposal = smr.NoOp
-				continue
-			}
-			log.Fatalf("kvnode: instance %d: building process: %v", instance, err)
-		}
-		decided, err := d.node.RunProc(instance, proc, 400, 6)
-		if err != nil {
-			log.Printf("kvnode: instance %d: %v (retrying)", instance, err)
-			time.Sleep(100 * time.Millisecond)
-			continue
-		}
-		if d.ctrl != nil {
-			d.ctrl.Observe(float64(time.Since(start).Milliseconds()))
-		}
-		d.commits.Deliver(instance, decided)
-		return
-	}
-}
-
-func serveClients(ln net.Listener, replica *smr.Replica, store *kv.Store, stopping *atomic.Bool) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if stopping.Load() {
-				return
-			}
-			continue
-		}
-		go handleClient(conn, replica, store)
-	}
-}
-
-func handleClient(conn net.Conn, replica *smr.Replica, store *kv.Store) {
-	defer conn.Close()
-	scanner := bufio.NewScanner(conn)
-	for scanner.Scan() {
-		fields := strings.Fields(scanner.Text())
-		if len(fields) == 0 {
-			continue
-		}
-		var resp string
-		switch strings.ToUpper(fields[0]) {
-		case "CMD":
-			resp = handleCmd(fields[1:], replica)
-		case "GET":
-			if len(fields) != 2 {
-				resp = "ERR usage: GET <key>"
-			} else if v, ok := store.Get(fields[1]); ok {
-				resp = v
-			} else {
-				resp = "NOTFOUND"
-			}
-		case "LOGLEN":
-			resp = fmt.Sprintf("%d", replica.Log.Len())
-		default:
-			resp = "ERR unknown command"
-		}
-		fmt.Fprintln(conn, resp)
-	}
-}
-
-func handleCmd(fields []string, replica *smr.Replica) string {
-	if len(fields) < 3 {
-		return "ERR usage: CMD <reqID> SET|DEL <key> [value]"
-	}
-	reqID, op := fields[0], strings.ToUpper(fields[1])
-	var cmd model.Value
-	switch op {
-	case "SET":
-		if len(fields) != 4 {
-			return "ERR usage: CMD <reqID> SET <key> <value>"
-		}
-		cmd = kv.Command(reqID, "SET", fields[2], fields[3])
-	case "DEL":
-		if len(fields) != 3 {
-			return "ERR usage: CMD <reqID> DEL <key>"
-		}
-		cmd = kv.Command(reqID, "DEL", fields[2], "")
-	default:
-		return "ERR unknown op " + op
-	}
-	if !smr.Admissible(cmd) {
-		return "ERR inadmissible command"
-	}
-	replica.Submit(cmd)
-	return "QUEUED"
+	nd.Stop()
 }

@@ -2,10 +2,20 @@
 // SMR examples. Commands are strings "reqID|OP|key[|value]" with OP in
 // {SET, DEL}; reads are served locally. Request IDs deduplicate client
 // retries (at-most-once semantics).
+//
+// The store implements snapshot.Snapshotter — its full state (data map plus
+// the duplicate-suppression table, in deterministic order) round-trips
+// through SnapshotState/RestoreState — so SMR deployments can checkpoint
+// it, compact their logs and transfer it to recovering replicas. The dedup
+// table is boundable (SetAppliedLimit, PruneApplied): without a bound it
+// grows one entry per unique request forever.
 package kv
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -13,11 +23,15 @@ import (
 )
 
 // Store is the deterministic state machine: a string map plus the
-// duplicate-suppression table.
+// duplicate-suppression table. The table is kept in apply order
+// (appliedOrder) so that eviction and snapshot encoding are deterministic
+// across replicas.
 type Store struct {
-	mu      sync.RWMutex
-	data    map[string]string
-	applied map[string]string // reqID → response
+	mu           sync.RWMutex
+	data         map[string]string
+	applied      map[string]string // reqID → response
+	appliedOrder []string          // reqIDs, oldest first
+	appliedLimit int               // 0 = unbounded
 }
 
 // NewStore returns an empty store.
@@ -61,7 +75,69 @@ func (s *Store) Apply(cmd model.Value) string {
 		}
 	}
 	s.applied[reqID] = resp
+	s.appliedOrder = append(s.appliedOrder, reqID)
+	if s.appliedLimit > 0 && len(s.appliedOrder) > s.appliedLimit {
+		s.pruneLocked(s.appliedLimit)
+	}
 	return resp
+}
+
+// SetAppliedLimit bounds the dedup table to the n most recent requests
+// (oldest evicted first, deterministically — eviction follows apply order,
+// which is the log order on every replica). n ≤ 0 removes the bound.
+// Evicting a request re-opens the at-most-once window for retries older
+// than the n most recent commands; pick n larger than any client's
+// plausible retry horizon.
+func (s *Store) SetAppliedLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appliedLimit = n
+	if n > 0 {
+		s.pruneLocked(n)
+	}
+}
+
+// PruneApplied drops all but the `keep` most recent dedup entries and
+// returns the number evicted. It implements snapshot.Pruner: snapshot
+// managers call it at checkpoint boundaries, a deterministic point where
+// every replica holds identical tables.
+func (s *Store) PruneApplied(keep int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pruneLocked(keep)
+}
+
+// pruneLocked evicts oldest-first down to `keep` entries. Callers hold s.mu.
+func (s *Store) pruneLocked(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	evict := len(s.appliedOrder) - keep
+	if evict <= 0 {
+		return 0
+	}
+	for _, reqID := range s.appliedOrder[:evict] {
+		delete(s.applied, reqID)
+	}
+	s.appliedOrder = s.appliedOrder[evict:]
+	// A re-slice keeps evicted strings reachable through the backing
+	// array's dead prefix. Bulk evictions copy immediately; the apply-path
+	// single eviction relies on append's next reallocation (len == cap
+	// within at most `keep` applies) to drop the prefix, keeping eviction
+	// amortized O(1) and the footprint O(keep).
+	if evict > 1 {
+		rest := make([]string, len(s.appliedOrder))
+		copy(rest, s.appliedOrder)
+		s.appliedOrder = rest
+	}
+	return evict
+}
+
+// AppliedLen reports the dedup-table size (memory-bound tests and metrics).
+func (s *Store) AppliedLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.applied)
 }
 
 // Parse splits a command into its fields.
@@ -114,4 +190,119 @@ func (s *Store) Snapshot() map[string]string {
 		out[k] = v
 	}
 	return out
+}
+
+// stateMagic versions the SnapshotState encoding.
+const stateMagic = "kvstate1"
+
+// ErrBadState rejects malformed or foreign state encodings.
+var ErrBadState = errors.New("kv: malformed state encoding")
+
+// SnapshotState implements snapshot.Snapshotter: a deterministic encoding
+// of the data map (sorted by key) and the dedup table (in apply order, the
+// same on every replica). Replicas with identical applied prefixes encode
+// byte-identical states, so snapshot digests are comparable across the
+// cluster.
+func (s *Store) SnapshotState() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := make([]byte, 0, 64)
+	buf = append(buf, stateMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = appendString(buf, k)
+		buf = appendString(buf, s.data[k])
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.appliedOrder)))
+	for _, reqID := range s.appliedOrder {
+		buf = appendString(buf, reqID)
+		buf = appendString(buf, s.applied[reqID])
+	}
+	return buf
+}
+
+// RestoreState implements snapshot.Snapshotter, replacing the store's
+// entire state with a decoded SnapshotState encoding. The configured
+// applied limit survives the restore and is re-enforced on the restored
+// table.
+func (s *Store) RestoreState(data []byte) error {
+	if len(data) < len(stateMagic)+8 || string(data[:len(stateMagic)]) != stateMagic {
+		return ErrBadState
+	}
+	r := data[len(stateMagic):]
+	var ok bool
+	var nData uint32
+	nData, r, ok = readUint32(r)
+	if !ok {
+		return ErrBadState
+	}
+	newData := make(map[string]string, nData)
+	for i := uint32(0); i < nData; i++ {
+		var k, v string
+		if k, r, ok = readString(r); !ok {
+			return ErrBadState
+		}
+		if v, r, ok = readString(r); !ok {
+			return ErrBadState
+		}
+		newData[k] = v
+	}
+	var nApplied uint32
+	nApplied, r, ok = readUint32(r)
+	if !ok {
+		return ErrBadState
+	}
+	newApplied := make(map[string]string, nApplied)
+	newOrder := make([]string, 0, nApplied)
+	for i := uint32(0); i < nApplied; i++ {
+		var reqID, resp string
+		if reqID, r, ok = readString(r); !ok {
+			return ErrBadState
+		}
+		if resp, r, ok = readString(r); !ok {
+			return ErrBadState
+		}
+		if _, dup := newApplied[reqID]; dup {
+			return ErrBadState
+		}
+		newApplied[reqID] = resp
+		newOrder = append(newOrder, reqID)
+	}
+	if len(r) != 0 {
+		return ErrBadState
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = newData
+	s.applied = newApplied
+	s.appliedOrder = newOrder
+	if s.appliedLimit > 0 {
+		s.pruneLocked(s.appliedLimit)
+	}
+	return nil
+}
+
+func appendString(buf []byte, v string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
+	return append(buf, v...)
+}
+
+func readUint32(b []byte) (uint32, []byte, bool) {
+	if len(b) < 4 {
+		return 0, nil, false
+	}
+	return binary.BigEndian.Uint32(b), b[4:], true
+}
+
+func readString(b []byte) (string, []byte, bool) {
+	n, rest, ok := readUint32(b)
+	if !ok || len(rest) < int(n) {
+		return "", nil, false
+	}
+	return string(rest[:n]), rest[n:], true
 }

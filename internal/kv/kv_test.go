@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -96,6 +97,133 @@ func TestSnapshotIsolation(t *testing.T) {
 	snap["a"] = "mutated"
 	if v, _ := s.Get("a"); v != "1" {
 		t.Error("Snapshot aliases store data")
+	}
+}
+
+func TestSnapshotStateRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Apply(Command("r1", "SET", "color", "green"))
+	s.Apply(Command("r2", "SET", "shape", "circle"))
+	s.Apply(Command("r3", "DEL", "color", ""))
+	s.Apply(Command("r4", "SET", "size", "big"))
+
+	restored := NewStore()
+	if err := restored.RestoreState(s.SnapshotState()); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != s.Len() {
+		t.Fatalf("restored %d keys, want %d", restored.Len(), s.Len())
+	}
+	for k, v := range s.Snapshot() {
+		if got, ok := restored.Get(k); !ok || got != v {
+			t.Errorf("restored[%s] = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	// Round-trip is an identity: re-encoding yields identical bytes.
+	if string(restored.SnapshotState()) != string(s.SnapshotState()) {
+		t.Error("SnapshotState not stable across restore")
+	}
+	// The dedup table travels with the state: a retry of an old request
+	// against the restored store must be suppressed.
+	restored.data["size"] = "out-of-band"
+	if resp := restored.Apply(Command("r4", "SET", "size", "big")); resp != "OK" {
+		t.Errorf("retry after restore = %q", resp)
+	}
+	if v, _ := restored.Get("size"); v != "out-of-band" {
+		t.Error("retry re-executed after restore")
+	}
+}
+
+func TestSnapshotStateDeterministic(t *testing.T) {
+	// Two stores built by the same command sequence (regardless of map
+	// iteration order) encode identically.
+	a, b := NewStore(), NewStore()
+	for i := 0; i < 50; i++ {
+		cmd := Command(
+			"req-"+strings.Repeat("x", i%7)+string(rune('a'+i%26)),
+			"SET", string(rune('a'+i%26)), strings.Repeat("v", i))
+		a.Apply(cmd)
+		b.Apply(cmd)
+	}
+	if string(a.SnapshotState()) != string(b.SnapshotState()) {
+		t.Error("identical histories encode differently")
+	}
+}
+
+func TestRestoreStateRejectsMalformed(t *testing.T) {
+	good := func() []byte {
+		s := NewStore()
+		s.Apply(Command("r", "SET", "k", "v"))
+		return s.SnapshotState()
+	}()
+	bad := [][]byte{
+		nil,
+		[]byte("not a snapshot"),
+		good[:len(good)-1],
+		append(append([]byte{}, good...), 0),
+	}
+	for i, b := range bad {
+		if err := NewStore().RestoreState(b); err == nil {
+			t.Errorf("case %d: restored malformed state", i)
+		}
+	}
+}
+
+// TestAppliedTableBounded is the memory-regression test for the dedup
+// table: across 10k duplicate-free commands a bounded store retains only
+// the configured window while an unbounded one grows linearly.
+func TestAppliedTableBounded(t *testing.T) {
+	const limit = 128
+	const commands = 10_000
+	bounded, unbounded := NewStore(), NewStore()
+	bounded.SetAppliedLimit(limit)
+	for i := 0; i < commands; i++ {
+		cmd := Command(fmt.Sprintf("req-%d", i), "SET", fmt.Sprintf("k-%d", i%31), "v")
+		bounded.Apply(cmd)
+		unbounded.Apply(cmd)
+	}
+	if got := bounded.AppliedLen(); got != limit {
+		t.Errorf("bounded AppliedLen = %d, want %d", got, limit)
+	}
+	if got := len(bounded.appliedOrder); got != limit {
+		t.Errorf("bounded order length = %d, want %d", got, limit)
+	}
+	if got := cap(bounded.appliedOrder); got > 4*limit+16 {
+		t.Errorf("bounded order capacity = %d, not O(limit)", got)
+	}
+	if got := unbounded.AppliedLen(); got != commands {
+		t.Errorf("unbounded AppliedLen = %d, want %d", got, commands)
+	}
+	// Recent requests still dedup; evicted ones no longer do.
+	if resp := bounded.Apply(Command(fmt.Sprintf("req-%d", commands-1), "SET", "k-0", "v")); resp != "OK" {
+		t.Errorf("recent retry = %q", resp)
+	}
+	if bounded.AppliedLen() != limit {
+		t.Error("recent retry grew the table")
+	}
+}
+
+func TestPruneApplied(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 100; i++ {
+		s.Apply(Command(fmt.Sprintf("r-%d", i), "SET", "k", fmt.Sprintf("%d", i)))
+	}
+	if evicted := s.PruneApplied(10); evicted != 90 {
+		t.Errorf("evicted %d, want 90", evicted)
+	}
+	if got := s.AppliedLen(); got != 10 {
+		t.Errorf("AppliedLen = %d, want 10", got)
+	}
+	// The survivors are the most recent 10.
+	s.mu.RLock()
+	_, oldGone := s.applied["r-0"]
+	_, newKept := s.applied["r-99"]
+	s.mu.RUnlock()
+	if oldGone || !newKept {
+		t.Errorf("wrong survivors: r-0 present=%v, r-99 present=%v", oldGone, newKept)
+	}
+	if evicted := s.PruneApplied(50); evicted != 0 {
+		t.Errorf("pruning below size evicted %d", evicted)
 	}
 }
 

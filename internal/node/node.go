@@ -1,0 +1,597 @@
+// Package node is the reusable replica server behind cmd/kvnode: one
+// cluster member assembling the full stack — TCP transport, pipelined
+// consensus dispatcher, in-order commit queue, adaptive batching, snapshot
+// checkpoints and the crash-recovery path — plus the line-oriented client
+// protocol. cmd/kvnode is a thin flag wrapper around it; cmd/kvload stands
+// up whole in-process clusters of them for TCP-level benchmarking, and the
+// crash-recovery e2e tests drive it directly.
+//
+// Recovery lifecycle: on Start a node with snapshots enabled probes its
+// peers for their latest checkpoints and installs the newest one backed by
+// b+1 matching digests (transport.FetchVerifiedSnapshot), rejoining the
+// pipeline at the snapshot watermark instead of instance 1. If it later
+// wedges on an instance its peers have already committed and compacted
+// away (repeated ErrNoDecision), the dispatcher resyncs the same way:
+// fetch a verified snapshot covering the stuck instance, install it under
+// the commit-queue lock (CommitQueue.InstallSnapshot) and fast-forward.
+package node
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genconsensus/internal/core"
+	"genconsensus/internal/flv"
+	"genconsensus/internal/kv"
+	"genconsensus/internal/model"
+	"genconsensus/internal/selector"
+	"genconsensus/internal/smr"
+	"genconsensus/internal/snapshot"
+	"genconsensus/internal/transport"
+)
+
+// Config assembles a replica server.
+type Config struct {
+	// ID is this member's process id; N the cluster size.
+	ID model.PID
+	N  int
+	// B is the Byzantine budget; F the benign-crash budget. F = 0 selects
+	// the PBFT instantiation, F > 0 the class-3 generic algorithm (which
+	// tolerates both fault kinds at once).
+	B, F int
+	// TD is the decision threshold (default 2B+1).
+	TD int
+	// Peers maps every process to its consensus address. May be installed
+	// later with SetPeers when addresses are known only after binding.
+	Peers map[model.PID]string
+	// ListenAddr is the consensus listen address.
+	ListenAddr string
+	// ClientAddr, when non-empty, serves the kv client protocol (requires
+	// a *kv.Store state machine).
+	ClientAddr string
+	// AuthSeed derives the cluster's pairwise MAC keys.
+	AuthSeed int64
+	// MaxBatch bounds commands per consensus instance (default
+	// smr.MaxBatchSize).
+	MaxBatch int
+	// Pipeline is the maximum number of concurrent instances (default 1).
+	Pipeline int
+	// Adaptive sizes batches from queue depth and observed latency.
+	Adaptive bool
+	// SnapshotInterval checkpoints every K committed instances and enables
+	// the recovery path; 0 disables snapshots.
+	SnapshotInterval uint64
+	// AppliedKeep bounds the state machine's dedup table at snapshot
+	// boundaries (snapshot.Pruner); 0 keeps everything.
+	AppliedKeep int
+	// BaseTimeout/TimeoutGrowth configure the transport's growing round
+	// deadlines (defaults 50ms/20ms).
+	BaseTimeout   time.Duration
+	TimeoutGrowth time.Duration
+	// MaxRounds/ExtraRounds bound one RunProc attempt (defaults 400/6).
+	MaxRounds   int
+	ExtraRounds int
+	// FetchTimeout bounds one snapshot fetch during recovery (default 2s).
+	FetchTimeout time.Duration
+	// StallTimeout is how long the commit watermark may sit still with
+	// work outstanding before the node suspects it has been left behind
+	// and probes its peers for verified decisions or a newer checkpoint
+	// (default 2s).
+	StallTimeout time.Duration
+	// SnapChunkBytes overrides the state-transfer chunk size (tests).
+	SnapChunkBytes int
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Node is one running replica server.
+type Node struct {
+	cfg      Config
+	params   core.Params
+	tn       *transport.Node
+	replica  *smr.Replica
+	sm       smr.StateMachine
+	ctrl     *smr.AdaptiveBatch
+	mgr      *smr.SnapshotManager // nil when snapshots are disabled
+	commits  *smr.CommitQueue
+	clientLn net.Listener
+
+	mu   sync.Mutex // guards next
+	next uint64
+
+	resyncMu sync.Mutex // serializes catch-up probes
+
+	inflight atomic.Int32 // workers currently inside decideInstance
+	started  atomic.Bool
+	stopping atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New binds the node's listeners and assembles the stack; Start launches
+// it. The state machine must implement snapshot.Snapshotter when
+// SnapshotInterval > 0, and must be a *kv.Store when ClientAddr is set.
+func New(cfg Config, sm smr.StateMachine) (*Node, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = smr.MaxBatchSize
+	}
+	if cfg.Pipeline < 1 {
+		cfg.Pipeline = 1
+	}
+	if cfg.BaseTimeout == 0 {
+		cfg.BaseTimeout = 50 * time.Millisecond
+	}
+	if cfg.TimeoutGrowth == 0 {
+		cfg.TimeoutGrowth = 20 * time.Millisecond
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 400
+	}
+	if cfg.ExtraRounds == 0 {
+		cfg.ExtraRounds = 6
+	}
+	if cfg.FetchTimeout == 0 {
+		cfg.FetchTimeout = 2 * time.Second
+	}
+	if cfg.StallTimeout == 0 {
+		cfg.StallTimeout = 2 * time.Second
+	}
+	if cfg.TD == 0 {
+		cfg.TD = 2*cfg.B + 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	params := core.Params{
+		N: cfg.N, B: cfg.B, F: cfg.F, TD: cfg.TD,
+		Flag:       model.FlagPhase,
+		Selector:   selector.NewAll(cfg.N),
+		Chooser:    smr.CommandChooser{},
+		UseHistory: true,
+	}
+	if cfg.F > 0 {
+		params.FLV = flv.NewClass3(cfg.N, cfg.TD, cfg.B, false)
+	} else {
+		params.FLV = flv.NewPBFT(cfg.N, cfg.B)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+
+	// The decision cache must outlast the snapshot interval: a laggard
+	// installs the newest checkpoint (at most one interval behind the
+	// head) and bridges the rest from cached decisions. Never below the
+	// transport's own default — with snapshots disabled the cache is the
+	// only catch-up mechanism left.
+	decisionCache := int(cfg.SnapshotInterval) + 64
+	if decisionCache < 256 {
+		decisionCache = 256
+	}
+	tn, err := transport.Listen(transport.Config{
+		ID: cfg.ID, N: cfg.N,
+		Peers:          cfg.Peers,
+		ListenAddr:     cfg.ListenAddr,
+		AuthSeed:       cfg.AuthSeed,
+		BaseTimeout:    cfg.BaseTimeout,
+		TimeoutGrowth:  cfg.TimeoutGrowth,
+		SnapChunkBytes: cfg.SnapChunkBytes,
+		DecisionCache:  decisionCache,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+
+	replica := smr.NewReplica(cfg.ID, sm)
+	replica.SetMaxBatch(cfg.MaxBatch)
+	n := &Node{cfg: cfg, params: params, tn: tn, replica: replica, sm: sm, next: 1}
+	if cfg.Adaptive {
+		n.ctrl = smr.NewAdaptiveBatch(smr.AdaptiveConfig{
+			MaxBatch: cfg.MaxBatch,
+			MaxDepth: cfg.Pipeline,
+			// Latencies are observed in milliseconds; the good case is ~2
+			// rounds under the base timeout.
+			BaseLatency: float64(2 * cfg.BaseTimeout / time.Millisecond),
+		})
+		replica.SetBatchSizer(n.ctrl)
+	}
+	if cfg.SnapshotInterval > 0 {
+		mgr, err := smr.NewSnapshotManager(replica, smr.SnapshotConfig{
+			Interval:    cfg.SnapshotInterval,
+			KeepApplied: cfg.AppliedKeep,
+		})
+		if err != nil {
+			_ = tn.Close()
+			return nil, fmt.Errorf("node: %w", err)
+		}
+		n.mgr = mgr
+		tn.SetSnapshotProvider(func() (*snapshot.Snapshot, bool) {
+			s, _, ok := mgr.Latest()
+			return s, ok
+		})
+	}
+	if cfg.ClientAddr != "" {
+		if _, ok := sm.(*kv.Store); !ok {
+			_ = tn.Close()
+			return nil, fmt.Errorf("node: client protocol needs a *kv.Store, have %T", sm)
+		}
+		ln, err := net.Listen("tcp", cfg.ClientAddr)
+		if err != nil {
+			_ = tn.Close()
+			return nil, fmt.Errorf("node: client listen: %w", err)
+		}
+		n.clientLn = ln
+	}
+	return n, nil
+}
+
+// SetPeers installs the cluster address map (":0" clusters learn addresses
+// after binding). Call before Start.
+func (n *Node) SetPeers(peers map[model.PID]string) {
+	n.cfg.Peers = peers
+	n.tn.SetPeers(peers)
+}
+
+// Addr returns the bound consensus address.
+func (n *Node) Addr() string { return n.tn.Addr() }
+
+// ClientAddr returns the bound client address ("" when disabled).
+func (n *Node) ClientAddr() string {
+	if n.clientLn == nil {
+		return ""
+	}
+	return n.clientLn.Addr().String()
+}
+
+// Replica exposes the SMR bookkeeping (tests, metrics).
+func (n *Node) Replica() *smr.Replica { return n.replica }
+
+// Manager exposes the snapshot manager (nil when snapshots are disabled).
+func (n *Node) Manager() *smr.SnapshotManager { return n.mgr }
+
+// Submit queues a client command directly (in-process clients).
+func (n *Node) Submit(cmd model.Value) { n.replica.Submit(cmd) }
+
+// otherPeers lists every cluster member but this one.
+func (n *Node) otherPeers() []model.PID {
+	peers := make([]model.PID, 0, n.cfg.N-1)
+	for _, p := range model.AllPIDs(n.cfg.N) {
+		if p != n.cfg.ID {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// Start runs the recovery probe and launches the dispatcher and client
+// goroutines. It must be called exactly once.
+func (n *Node) Start() {
+	if !n.started.CompareAndSwap(false, true) {
+		return
+	}
+	first := uint64(1)
+	if n.mgr != nil {
+		// Crash recovery: adopt the newest checkpoint b+1 peers agree on.
+		// A fresh cluster fails the probe quickly (refused dials or
+		// SnapNone) and simply starts at instance 1.
+		snap, err := n.tn.FetchVerifiedSnapshot(n.otherPeers(), n.cfg.B+1, n.cfg.FetchTimeout)
+		switch {
+		case err != nil:
+			n.cfg.Logf("node %d: no recovery snapshot (%v), starting fresh", n.cfg.ID, err)
+		case snap.LogIndex <= uint64(n.replica.Log.Len()):
+			n.cfg.Logf("node %d: peers' snapshot (instance %d) not ahead, starting fresh",
+				n.cfg.ID, snap.LastInstance)
+		default:
+			if err := n.mgr.Install(snap); err != nil {
+				n.cfg.Logf("node %d: installing recovery snapshot: %v", n.cfg.ID, err)
+				break
+			}
+			first = snap.LastInstance + 1
+			n.tn.ReleaseInstance(snap.LastInstance)
+			n.cfg.Logf("node %d: recovered at instance %d (log index %d)",
+				n.cfg.ID, snap.LastInstance, snap.LogIndex)
+		}
+	}
+	n.mu.Lock()
+	n.next = first
+	n.mu.Unlock()
+	n.commits = smr.NewCommitQueue(n.replica, first, func(instance uint64, decided model.Value, resps []string) {
+		// Cache the decision before releasing the buffers, so a laggard
+		// probing right after the release always finds it.
+		n.tn.RecordDecision(instance, decided)
+		n.tn.ReleaseInstance(instance)
+		if n.mgr != nil {
+			n.mgr.MaybeSnapshot(instance)
+		}
+		n.cfg.Logf("node %d: instance %d decided %d command(s), log length %d",
+			n.cfg.ID, instance, len(resps), n.replica.Log.Len())
+	})
+	n.wg.Add(1)
+	go n.runDispatcher()
+	n.wg.Add(1)
+	go n.stallWatch()
+	if n.clientLn != nil {
+		n.wg.Add(1)
+		go n.serveClients()
+	}
+}
+
+// Stop shuts the node down and joins its goroutines.
+func (n *Node) Stop() {
+	if n.stopping.Swap(true) {
+		return
+	}
+	if n.clientLn != nil {
+		_ = n.clientLn.Close()
+	}
+	_ = n.tn.Close()
+	n.wg.Wait()
+}
+
+// runDispatcher drives the pipelined instance schedule: up to Pipeline
+// concurrent RunProc workers, proposals claiming disjoint queue slices,
+// decisions flowing through the in-order commit queue. It keeps the
+// instance counter glued to the commit watermark so a snapshot
+// fast-forward skips the dead instances instead of starting them.
+func (n *Node) runDispatcher() {
+	defer n.wg.Done()
+	sem := make(chan struct{}, n.cfg.Pipeline)
+	for !n.stopping.Load() {
+		queue := n.replica.PendingLen()
+		n.mu.Lock()
+		if wm := n.commits.NextCommit(); n.next < wm {
+			n.next = wm
+		}
+		next := n.next
+		n.mu.Unlock()
+		join := n.tn.HasInstance(next)
+		if n.commits.Unclaimed() == 0 && !join {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		// Adaptive window: a backlog of one command gets one instance, not
+		// Pipeline speculative ones.
+		if n.ctrl != nil && !join && len(sem) >= n.ctrl.Depth(queue) {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		sem <- struct{}{} // caps in-flight instances
+		n.mu.Lock()
+		if wm := n.commits.NextCommit(); n.next < wm {
+			n.next = wm
+		}
+		instance := n.next
+		n.next++
+		n.mu.Unlock()
+		proposal := n.commits.Claim(instance, 0)
+		n.wg.Add(1)
+		n.inflight.Add(1)
+		go func(instance uint64, proposal model.Value) {
+			defer n.wg.Done()
+			defer n.inflight.Add(-1)
+			defer func() { <-sem }()
+			n.decideInstance(instance, proposal)
+		}(instance, proposal)
+	}
+}
+
+// decideInstance runs one instance to its decision, retrying while peers
+// are down or slow. The commit queue cannot advance past a missing
+// instance, so a worker gives up only when the node stops or the instance
+// is proven to be finished business cluster-wide (released locally after a
+// catch-up, which aborts RunProc with ErrInstanceReleased).
+func (n *Node) decideInstance(instance uint64, proposal model.Value) {
+	start := time.Now()
+	for !n.stopping.Load() {
+		if n.commits.NextCommit() > instance {
+			return // a catch-up fast-forwarded past this instance
+		}
+		proc, err := core.NewProcess(n.tn.ID(), proposal, n.params)
+		if err != nil {
+			// Never expected (params are validated, proposals admissible);
+			// fall back to NoOp rather than wedging the commit queue.
+			if proposal != smr.NoOp {
+				n.cfg.Logf("node %d: instance %d: building process: %v (retrying as NoOp)",
+					n.cfg.ID, instance, err)
+				proposal = smr.NoOp
+				continue
+			}
+			n.cfg.Logf("node %d: instance %d: building process: %v (unrecoverable)",
+				n.cfg.ID, instance, err)
+			return
+		}
+		decided, err := n.tn.RunProc(instance, proc, n.cfg.MaxRounds, n.cfg.ExtraRounds)
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrInstanceReleased) {
+				return
+			}
+			n.cfg.Logf("node %d: instance %d: %v (retrying)", n.cfg.ID, instance, err)
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if n.ctrl != nil {
+			n.ctrl.Observe(float64(time.Since(start).Milliseconds()))
+		}
+		n.commits.Deliver(instance, decided)
+		return
+	}
+}
+
+// stallWatch is the laggard detector: when the commit watermark sits still
+// for StallTimeout with work outstanding — typically because peers decided,
+// committed and released instances this node missed (it was down, or it
+// recovered onto a checkpoint behind the head) — it probes the cluster and
+// catches up without re-running dead instances.
+func (n *Node) stallWatch() {
+	defer n.wg.Done()
+	check := n.cfg.StallTimeout / 4
+	if check < 20*time.Millisecond {
+		check = 20 * time.Millisecond
+	}
+	lastWM := uint64(0)
+	lastMove := time.Now()
+	for !n.stopping.Load() {
+		time.Sleep(check)
+		wm := n.commits.NextCommit()
+		if wm != lastWM {
+			lastWM = wm
+			lastMove = time.Now()
+			continue
+		}
+		if time.Since(lastMove) < n.cfg.StallTimeout {
+			continue
+		}
+		// Stalled only if there is evidence of outstanding work: local
+		// in-flight instances, unclaimed queue backlog, or buffered peer
+		// traffic for instances we are not driving (the signature of a
+		// laggard with no local writes — peers broadcast newer instances
+		// while our dispatcher has nothing to join them with).
+		if n.inflight.Load() == 0 && n.commits.Unclaimed() == 0 && n.tn.InstanceCount() == 0 {
+			continue // idle, not stalled
+		}
+		n.catchUp()
+		lastMove = time.Now() // one probe per stall window
+	}
+}
+
+// catchUp advances the commit watermark past instances the cluster has
+// finished without us, cheapest mechanism first:
+//
+//  1. Verified decisions: peers cache recent decided values
+//     (transport.RecordDecision); any instance b+1 peers agree on is
+//     committed directly, preserving the local log.
+//  2. Verified snapshot: when the gap exceeds the peers' decision caches,
+//     install the newest b+1-verified checkpoint under the commit-queue
+//     lock and fast-forward, then drain decisions again up to the head.
+//
+// Committing or installing releases the covered instances, which aborts
+// any local worker still running them (ErrInstanceReleased).
+func (n *Node) catchUp() {
+	n.resyncMu.Lock()
+	defer n.resyncMu.Unlock()
+	peers := n.otherPeers()
+	quorum := n.cfg.B + 1
+	drain := func() bool {
+		moved := false
+		for !n.stopping.Load() {
+			next := n.commits.NextCommit()
+			decided, err := n.tn.FetchVerifiedDecision(peers, next, quorum, n.cfg.FetchTimeout)
+			if err != nil {
+				return moved
+			}
+			n.cfg.Logf("node %d: caught up instance %d from peer decision caches", n.cfg.ID, next)
+			n.commits.Deliver(next, decided)
+			moved = true
+		}
+		return moved
+	}
+	if drain() || n.mgr == nil {
+		return
+	}
+	snap, err := n.tn.FetchVerifiedSnapshot(peers, quorum, n.cfg.FetchTimeout)
+	if err != nil {
+		n.cfg.Logf("node %d: catch-up probe: %v", n.cfg.ID, err)
+		return
+	}
+	if snap.LastInstance < n.commits.NextCommit() {
+		return // not behind after all (instances are live, just slow)
+	}
+	installed, err := n.commits.InstallSnapshot(snap.LastInstance+1, func() error {
+		return n.mgr.Install(snap)
+	})
+	if err != nil {
+		n.cfg.Logf("node %d: catch-up install: %v", n.cfg.ID, err)
+		return
+	}
+	if installed {
+		n.tn.ReleaseInstance(snap.LastInstance)
+		n.cfg.Logf("node %d: resynced to instance %d (log index %d)",
+			n.cfg.ID, snap.LastInstance, snap.LogIndex)
+		drain() // bridge the remainder up to the head
+	}
+}
+
+// serveClients accepts line-oriented kv clients:
+//
+//	CMD <reqID> SET <key> <value>   → "QUEUED"
+//	CMD <reqID> DEL <key>           → "QUEUED"
+//	GET <key>                       → value or "NOTFOUND"
+//	LOGLEN                          → decided-log length (global positions)
+func (n *Node) serveClients() {
+	defer n.wg.Done()
+	store := n.sm.(*kv.Store)
+	for {
+		conn, err := n.clientLn.Accept()
+		if err != nil {
+			if n.stopping.Load() {
+				return
+			}
+			continue
+		}
+		// Handlers are not joined by Stop: they exit when the client closes
+		// (or the process ends), and joining them would let one idle client
+		// connection hang the shutdown.
+		go n.handleClient(conn, store)
+	}
+}
+
+func (n *Node) handleClient(conn net.Conn, store *kv.Store) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		var resp string
+		switch strings.ToUpper(fields[0]) {
+		case "CMD":
+			resp = n.handleCmd(fields[1:])
+		case "GET":
+			if len(fields) != 2 {
+				resp = "ERR usage: GET <key>"
+			} else if v, ok := store.Get(fields[1]); ok {
+				resp = v
+			} else {
+				resp = "NOTFOUND"
+			}
+		case "LOGLEN":
+			resp = fmt.Sprintf("%d", n.replica.Log.Len())
+		default:
+			resp = "ERR unknown command"
+		}
+		fmt.Fprintln(conn, resp)
+	}
+}
+
+func (n *Node) handleCmd(fields []string) string {
+	if len(fields) < 3 {
+		return "ERR usage: CMD <reqID> SET|DEL <key> [value]"
+	}
+	reqID, op := fields[0], strings.ToUpper(fields[1])
+	var cmd model.Value
+	switch op {
+	case "SET":
+		if len(fields) != 4 {
+			return "ERR usage: CMD <reqID> SET <key> <value>"
+		}
+		cmd = kv.Command(reqID, "SET", fields[2], fields[3])
+	case "DEL":
+		if len(fields) != 3 {
+			return "ERR usage: CMD <reqID> DEL <key>"
+		}
+		cmd = kv.Command(reqID, "DEL", fields[2], "")
+	default:
+		return "ERR unknown op " + op
+	}
+	if !smr.Admissible(cmd) {
+		return "ERR inadmissible command"
+	}
+	n.replica.Submit(cmd)
+	return "QUEUED"
+}

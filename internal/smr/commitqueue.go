@@ -51,14 +51,28 @@ func NewCommitQueue(r *Replica, firstInstance uint64, onCommit func(uint64, mode
 
 // Claim builds instance's proposal from the first unclaimed queue slice
 // (Replica.ProposalAt with the current claim offset) and records its claim.
-// limit ≤ 0 uses the replica's own sizing.
+// limit ≤ 0 uses the replica's own sizing. Claiming an instance at or below
+// the commit watermark (possible after a snapshot fast-forward raced the
+// dispatcher) yields NoOp and records nothing: the instance is finished
+// business and must not own queue positions that could never be released.
 func (q *CommitQueue) Claim(instance uint64, limit int) model.Value {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if instance < q.nextCommit {
+		return NoOp
+	}
 	proposal, claim := q.replica.ProposalAt(q.claimed, limit)
 	q.claimed += claim
 	q.claims[instance] = claim
 	return proposal
+}
+
+// NextCommit reports the next instance number expected to commit (the
+// commit watermark).
+func (q *CommitQueue) NextCommit() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.nextCommit
 }
 
 // Unclaimed reports how much of the pending queue no in-flight instance
@@ -79,10 +93,24 @@ func (q *CommitQueue) Unclaimed() int {
 // arrived is committed to the replica, reported to onCommit and has its
 // claim released. Later decisions stay buffered until the gap fills. It
 // returns the number of instances committed by this call.
+//
+// A decision at or below the watermark — a duplicate delivery, or a
+// straggler for an instance a snapshot install already covered — is
+// dropped: committing it again would double-apply, and releasing its claim
+// again would corrupt the offset.
 func (q *CommitQueue) Deliver(instance uint64, decided model.Value) int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if instance < q.nextCommit {
+		return 0
+	}
 	q.decisions[instance] = decided
+	return q.flushLocked()
+}
+
+// flushLocked commits every consecutive buffered decision from the
+// watermark on. Callers hold q.mu.
+func (q *CommitQueue) flushLocked() int {
 	committed := 0
 	for {
 		v, ok := q.decisions[q.nextCommit]
@@ -102,4 +130,43 @@ func (q *CommitQueue) Deliver(instance uint64, decided model.Value) int {
 		q.nextCommit++
 		committed++
 	}
+}
+
+// InstallSnapshot fast-forwards the queue past instances a verified
+// snapshot covers: install (which must replace the replica's state —
+// typically SnapshotManager.Install) runs under the queue lock so no
+// commit can interleave with the state swap, then buffered decisions and
+// claims below nextInstance are dropped, the claim offset is rebuilt from
+// the surviving claims, and the watermark jumps to nextInstance. Decisions
+// already buffered at or above nextInstance flush if now consecutive.
+//
+// It returns false — without calling install — when the watermark is
+// already at or past nextInstance (a racing resync beat us to it).
+func (q *CommitQueue) InstallSnapshot(nextInstance uint64, install func() error) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if nextInstance <= q.nextCommit {
+		return false, nil
+	}
+	if install != nil {
+		if err := install(); err != nil {
+			return false, err
+		}
+	}
+	for inst := range q.decisions {
+		if inst < nextInstance {
+			delete(q.decisions, inst)
+		}
+	}
+	q.claimed = 0
+	for inst, claim := range q.claims {
+		if inst < nextInstance {
+			delete(q.claims, inst)
+			continue
+		}
+		q.claimed += claim
+	}
+	q.nextCommit = nextInstance
+	q.flushLocked()
+	return true, nil
 }

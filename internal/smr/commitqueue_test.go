@@ -1,0 +1,191 @@
+package smr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"genconsensus/internal/kv"
+	"genconsensus/internal/model"
+)
+
+func testCmd(i int) model.Value {
+	return kv.Command(fmt.Sprintf("cq-req-%d", i), "SET", fmt.Sprintf("cq-k-%d", i), "v")
+}
+
+// Double delivery of the same instance must commit once and release its
+// claim once: the second delivery is finished business.
+func TestCommitQueueDoubleRelease(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	var commits []uint64
+	q := NewCommitQueue(r, 1, func(instance uint64, _ model.Value, _ []string) {
+		commits = append(commits, instance)
+	})
+	r.Submit(testCmd(1))
+	r.Submit(testCmd(2))
+	p1 := q.Claim(1, 1)
+	p2 := q.Claim(2, 1)
+	if q.Unclaimed() != 0 {
+		t.Fatalf("Unclaimed = %d after claiming everything", q.Unclaimed())
+	}
+	if n := q.Deliver(1, p1); n != 1 {
+		t.Fatalf("first delivery committed %d", n)
+	}
+	// Duplicate delivery of the committed instance: dropped entirely.
+	if n := q.Deliver(1, p1); n != 0 {
+		t.Fatalf("duplicate delivery committed %d", n)
+	}
+	if got := r.Log.Len(); got != 1 {
+		t.Fatalf("log length %d after duplicate delivery, want 1", got)
+	}
+	if n := q.Deliver(2, p2); n != 1 {
+		t.Fatalf("second instance committed %d", n)
+	}
+	if q.Unclaimed() != 0 {
+		t.Fatalf("Unclaimed = %d after draining, want 0 (claims released exactly once)", q.Unclaimed())
+	}
+	if len(commits) != 2 || commits[0] != 1 || commits[1] != 2 {
+		t.Fatalf("commit order %v", commits)
+	}
+}
+
+// Commits at the watermark proceed; below it they are dropped without
+// touching the log or the claim accounting.
+func TestCommitQueueWatermark(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	q := NewCommitQueue(r, 5, nil)
+	if n := q.Deliver(3, testCmd(3)); n != 0 {
+		t.Fatalf("below-watermark delivery committed %d", n)
+	}
+	if n := q.Deliver(4, testCmd(4)); n != 0 {
+		t.Fatalf("below-watermark delivery committed %d", n)
+	}
+	if r.Log.Len() != 0 {
+		t.Fatal("below-watermark deliveries reached the log")
+	}
+	// At the watermark: commits, and flushes any buffered successor.
+	if n := q.Deliver(6, testCmd(6)); n != 0 {
+		t.Fatalf("gapped delivery committed %d", n)
+	}
+	if n := q.Deliver(5, testCmd(5)); n != 2 {
+		t.Fatalf("watermark delivery flushed %d, want 2", n)
+	}
+	if got := q.NextCommit(); got != 7 {
+		t.Fatalf("NextCommit = %d, want 7", got)
+	}
+	// Claiming an already-committed instance yields NoOp and no claim.
+	r.Submit(testCmd(100))
+	if p := q.Claim(4, 1); p != NoOp {
+		t.Fatalf("stale claim proposed %q", p)
+	}
+	if q.Unclaimed() != 1 {
+		t.Fatalf("stale claim consumed queue positions: Unclaimed = %d", q.Unclaimed())
+	}
+}
+
+// Out-of-order release under concurrent claimers: W workers claim disjoint
+// slices and deliver in scrambled order; every command must commit exactly
+// once, in instance order, and the claim offset must return to zero. Run
+// with -race: Claim/Deliver/Unclaimed race on purpose.
+func TestCommitQueueConcurrentOutOfOrder(t *testing.T) {
+	const instances = 40
+	r := NewReplica(0, kv.NewStore())
+	var mu sync.Mutex
+	var order []uint64
+	q := NewCommitQueue(r, 1, func(instance uint64, _ model.Value, _ []string) {
+		mu.Lock()
+		order = append(order, instance)
+		mu.Unlock()
+	})
+	for i := 0; i < instances; i++ {
+		r.Submit(testCmd(i))
+	}
+	// Four claimers race for disjoint instance sets (q.mu serializes the
+	// slice assignment; the race detector audits the locking).
+	proposals := make([]model.Value, instances+1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for inst := uint64(w + 1); inst <= instances; inst += 4 {
+				proposals[inst] = q.Claim(inst, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Deliver from 4 workers, each a different stride, so later instances
+	// routinely arrive before earlier ones.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for inst := uint64(w + 1); inst <= instances; inst += 4 {
+				q.Deliver(instances+1-inst, proposals[instances+1-inst])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Log.Len(); got != instances {
+		t.Fatalf("log length %d, want %d", got, instances)
+	}
+	if got := q.Unclaimed(); got != 0 {
+		t.Fatalf("Unclaimed = %d after drain, want 0", got)
+	}
+	if len(order) != instances {
+		t.Fatalf("committed %d instances, want %d", len(order), instances)
+	}
+	for i, inst := range order {
+		if inst != uint64(i+1) {
+			t.Fatalf("commit order %v: position %d is %d", order, i, inst)
+		}
+	}
+}
+
+// InstallSnapshot fast-forwards past covered instances: older buffered
+// decisions and claims are dropped, newer buffered decisions flush, and a
+// racing install loses cleanly.
+func TestCommitQueueInstallSnapshot(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	var commits []uint64
+	q := NewCommitQueue(r, 1, func(instance uint64, _ model.Value, _ []string) {
+		commits = append(commits, instance)
+	})
+	for i := 0; i < 6; i++ {
+		r.Submit(testCmd(i))
+	}
+	for inst := uint64(1); inst <= 6; inst++ {
+		q.Claim(inst, 1)
+	}
+	// Decisions for 3 and 5..6 arrive; 1, 2 and 4 never will (their peers
+	// compacted them away).
+	q.Deliver(3, testCmd(3))
+	q.Deliver(5, testCmd(5))
+	q.Deliver(6, testCmd(6))
+	installed := false
+	ok, err := q.InstallSnapshot(5, func() error { installed = true; return nil })
+	if err != nil || !ok {
+		t.Fatalf("InstallSnapshot = %v, %v", ok, err)
+	}
+	if !installed {
+		t.Fatal("install callback not run")
+	}
+	// 5 and 6 were buffered and are now consecutive: both flush.
+	if len(commits) != 2 || commits[0] != 5 || commits[1] != 6 {
+		t.Fatalf("commits after install: %v", commits)
+	}
+	if got := q.NextCommit(); got != 7 {
+		t.Fatalf("NextCommit = %d, want 7", got)
+	}
+	// Claims 1..4 dropped, 5..6 released by their commits.
+	if got := q.Unclaimed(); got != r.PendingLen() {
+		t.Fatalf("Unclaimed = %d, want full queue %d", got, r.PendingLen())
+	}
+	// A second install at or below the watermark refuses without calling
+	// install.
+	called := false
+	ok, err = q.InstallSnapshot(7, func() error { called = true; return nil })
+	if err != nil || ok || called {
+		t.Fatalf("stale install: ok=%v err=%v called=%v", ok, err, called)
+	}
+}

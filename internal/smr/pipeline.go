@@ -183,7 +183,7 @@ func (p *Pipeline) commitReady() {
 		}
 		delete(p.decided, head)
 		p.order = p.order[1:]
-		p.c.commitDecision(d.value, d.rounds)
+		p.c.commitDecision(head, d.value, d.rounds)
 		p.stats.Committed += BatchWeight(d.value)
 		// The claim is released only now: until the commit removed its
 		// commands from the pending queues, the slice was still owned.

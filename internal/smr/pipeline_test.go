@@ -146,7 +146,7 @@ func TestPipelineOutOfOrderCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	// In-order means the earlier instance's slice occupies the log prefix.
-	log := c.Replica(1).Log.Snapshot()
+	log := c.Replica(1).Log.Entries()
 	wantPrefix := kv.Command("ooo-req-0", "SET", "ooo-k0", "v0")
 	if log[0] != wantPrefix {
 		t.Errorf("log[0] = %q, want the first submitted command", log[0])

@@ -34,6 +34,45 @@
 // yields singleton batches and a shallow pipeline (minimum latency); bursts
 // yield full batches and the full pipeline depth (maximum throughput).
 //
+// # Snapshots, log compaction and crash recovery
+//
+// A long-running deployment cannot keep every decided command: the log and
+// the state machine's dedup tables would grow without bound, and a replica
+// that crashed and lost its in-memory state could never rejoin once its
+// peers discard the history it missed. The snapshot lifecycle closes both
+// gaps:
+//
+//   - Checkpoint: a SnapshotManager observes every committed instance and,
+//     at each Interval boundary, prunes the state machine's dedup table
+//     (snapshot.Pruner), encodes the application state deterministically
+//     (snapshot.Snapshotter) and records a snapshot.Snapshot carrying the
+//     instance watermark and the global log index it covers. Instance
+//     numbers are cluster-global, so honest replicas checkpoint the same
+//     boundaries with byte-identical snapshots — digests are comparable
+//     across the cluster.
+//
+//   - Compaction: the checkpoint truncates the log below its index
+//     (Log.TruncatePrefix). Log positions are global and survive
+//     compaction — Len counts compacted entries, Get addresses global
+//     positions, and CheckConsistency compares retained-window overlaps —
+//     so batching, pipelining and compaction all stay position-transparent.
+//     Retained memory is bounded by one snapshot window.
+//
+//   - Recovery: a crashed replica re-enters through InstallSnapshot
+//     (SnapshotManager.Install): it restores the state machine from a
+//     snapshot verified by b+1 matching digests (so a Byzantine minority
+//     cannot feed it forged state), resets its log to the snapshot index,
+//     replays the log tail above it, and rejoins the pipeline at the
+//     watermark. Cluster.Recover realizes this in the simulator; the
+//     transport layer's chunked, MAC-protected state-transfer exchange
+//     (transport.FetchVerifiedSnapshot) and internal/node's catch-up path
+//     realize it over TCP, where a CommitQueue.InstallSnapshot
+//     fast-forwards past instances the snapshot covers. The gap between
+//     the newest checkpoint and the cluster head — instances peers have
+//     committed, released and will never run again — is bridged by
+//     b+1-verified cached decisions (transport.FetchVerifiedDecision), so
+//     a laggard converges even when no new checkpoint is coming.
+//
 // The package is runtime-agnostic: Cluster and Pipeline drive instances
 // through the in-memory simulator (one engine per instance, stepped
 // round-robin so concurrent instances truly overlap in simulated time, with
@@ -66,8 +105,15 @@ type StateMachine interface {
 
 // Log is a replica's decided-command sequence. Entries are individual
 // commands: a decided batch appends one entry per command.
+//
+// Positions are global and stable across compaction: a snapshot manager
+// may truncate the prefix below its checkpoint (TruncatePrefix), after
+// which Len still reports the total number of decided commands ever
+// appended and Get(i) still addresses command i — returning false for
+// compacted positions, whose effects live on in the snapshot instead.
 type Log struct {
 	mu      sync.RWMutex
+	base    uint64 // number of compacted entries; global index of entries[0]
 	entries []model.Value
 }
 
@@ -89,28 +135,94 @@ func (l *Log) AppendBatch(cmds []model.Value) {
 	l.entries = append(l.entries, cmds...)
 }
 
-// Len returns the number of decided commands.
+// Len returns the number of decided commands, including compacted ones:
+// positions are batch-, pipeline- and compaction-transparent.
 func (l *Log) Len() int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return len(l.entries)
+	return int(l.base) + len(l.entries)
 }
 
-// Get returns the i-th decided command.
+// FirstIndex returns the global index of the oldest retained entry: 0
+// before any compaction, the snapshot index after.
+func (l *Log) FirstIndex() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.base
+}
+
+// Get returns the i-th decided command, or false when i is out of range or
+// compacted away.
 func (l *Log) Get(i int) (model.Value, bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if i < 0 || i >= len(l.entries) {
+	if i < 0 || uint64(i) < l.base || i >= int(l.base)+len(l.entries) {
 		return model.NoValue, false
 	}
-	return l.entries[i], true
+	return l.entries[uint64(i)-l.base], true
 }
 
-// Snapshot copies the whole log.
-func (l *Log) Snapshot() []model.Value {
+// Entries copies the retained entries (those at or above FirstIndex).
+// Before PR 3 this method was named Snapshot; it was renamed to free the
+// term for durable checkpoints (see SnapshotManager).
+func (l *Log) Entries() []model.Value {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return append([]model.Value(nil), l.entries...)
+}
+
+// Retained returns the first retained global index together with a copy of
+// the retained entries, atomically — consistency checks need both from the
+// same instant.
+func (l *Log) Retained() (uint64, []model.Value) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.base, append([]model.Value(nil), l.entries...)
+}
+
+// Tail copies the retained entries from global index `from` on. It returns
+// false when `from` addresses a compacted position (the caller needs a
+// snapshot, not a log suffix).
+func (l *Log) Tail(from uint64) ([]model.Value, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if from < l.base {
+		return nil, false
+	}
+	if from > l.base+uint64(len(l.entries)) {
+		return nil, false
+	}
+	return append([]model.Value(nil), l.entries[from-l.base:]...), true
+}
+
+// TruncatePrefix drops every entry below global index `index` (log
+// compaction at a snapshot boundary). Truncating at or below FirstIndex is
+// a no-op; truncating beyond Len is clamped.
+func (l *Log) TruncatePrefix(index uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if index <= l.base {
+		return
+	}
+	if end := l.base + uint64(len(l.entries)); index > end {
+		index = end
+	}
+	drop := index - l.base
+	// Copy the keepers to a fresh backing array so the dropped prefix is
+	// actually released.
+	kept := make([]model.Value, uint64(len(l.entries))-drop)
+	copy(kept, l.entries[drop:])
+	l.entries = kept
+	l.base = index
+}
+
+// Reset discards the whole log and restarts it at global index `base`: the
+// state below is covered by an installed snapshot.
+func (l *Log) Reset(base uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.base = base
+	l.entries = nil
 }
 
 // Replica is one member's SMR bookkeeping: a pending-command queue, the
@@ -316,6 +428,7 @@ type Cluster struct {
 	byzantine map[model.PID]adversary.Strategy
 	crashed   map[model.PID]bool
 	ctrl      *AdaptiveBatch
+	managers  []*SnapshotManager // nil until EnableSnapshots
 }
 
 // Errors returned by the cluster.
@@ -590,14 +703,21 @@ func decisionOf(instance uint64, res sim.Result) (model.Value, error) {
 	return model.NoValue, fmt.Errorf("%w: instance %d produced no decision", ErrInstanceFailed, instance)
 }
 
-// commitDecision applies a decided value at every live replica and feeds
-// the observed instance latency to the adaptive controller, if one is
-// installed.
-func (c *Cluster) commitDecision(decided model.Value, latencyRounds int) {
+// commitDecision applies a decided value at every live replica, gives each
+// replica's snapshot manager (if snapshots are enabled) the chance to
+// checkpoint at the committed instance, and feeds the observed instance
+// latency to the adaptive controller, if one is installed.
+func (c *Cluster) commitDecision(instance uint64, decided model.Value, latencyRounds int) {
 	live := c.liveSet()
+	c.mu.Lock()
+	managers := c.managers
+	c.mu.Unlock()
 	for _, r := range c.replicas {
 		if live[r.ID] {
 			r.Commit(decided)
+			if managers != nil {
+				managers[r.ID].MaybeSnapshot(instance)
+			}
 		}
 	}
 	if ctrl := c.controller(); ctrl != nil && latencyRounds > 0 {
@@ -619,7 +739,7 @@ func (c *Cluster) RunInstance() (model.Value, error) {
 	if err != nil {
 		return model.NoValue, err
 	}
-	c.commitDecision(decided, res.Rounds)
+	c.commitDecision(instance, decided, res.Rounds)
 	return decided, nil
 }
 
@@ -644,6 +764,12 @@ func (c *Cluster) Drain(maxInstances int) error {
 // CheckConsistency verifies the SMR safety invariant over honest members:
 // all live replica logs are identical, and every crashed replica's log is a
 // prefix of them. Byzantine members are unconstrained and skipped.
+//
+// Compaction-awareness: positions are global (Log.Len counts compacted
+// entries too), so the check compares the overlap of each pair's retained
+// windows. Entries below a replica's snapshot index are covered by its
+// checkpoint digest instead — identical digests are enforced at transfer
+// time (b+1 matching peers), not here.
 func (c *Cluster) CheckConsistency() error {
 	live := c.liveSet()
 	c.mu.Lock()
@@ -656,11 +782,14 @@ func (c *Cluster) CheckConsistency() error {
 		crashedSet[p] = true
 	}
 	c.mu.Unlock()
+	var refFirst uint64
 	var ref []model.Value
+	refLen := 0
 	haveRef := false
 	for _, r := range c.replicas {
 		if live[r.ID] {
-			ref = r.Log.Snapshot()
+			refFirst, ref = r.Log.Retained()
+			refLen = int(refFirst) + len(ref)
 			haveRef = true
 			break
 		}
@@ -672,18 +801,29 @@ func (c *Cluster) CheckConsistency() error {
 		if byzSet[r.ID] {
 			continue
 		}
-		log := r.Log.Snapshot()
+		first, entries := r.Log.Retained()
+		total := int(first) + len(entries)
 		if crashedSet[r.ID] {
-			if len(log) > len(ref) {
+			if total > refLen {
 				return fmt.Errorf("%w: crashed member %d has %d entries, live logs have %d",
-					ErrDiverged, r.ID, len(log), len(ref))
+					ErrDiverged, r.ID, total, refLen)
 			}
-		} else if len(log) != len(ref) {
-			return fmt.Errorf("%w: lengths %d vs %d", ErrDiverged, len(ref), len(log))
+		} else if total != refLen {
+			return fmt.Errorf("%w: lengths %d vs %d", ErrDiverged, refLen, total)
 		}
-		for i := range log {
-			if ref[i] != log[i] {
-				return fmt.Errorf("%w: entry %d: %q vs %q", ErrDiverged, i, ref[i], log[i])
+		lo := refFirst
+		if first > lo {
+			lo = first
+		}
+		hi := uint64(refLen)
+		if uint64(total) < hi {
+			hi = uint64(total)
+		}
+		for i := lo; i < hi; i++ {
+			want := ref[i-refFirst]
+			got := entries[i-first]
+			if want != got {
+				return fmt.Errorf("%w: entry %d: %q vs %q", ErrDiverged, i, want, got)
 			}
 		}
 	}

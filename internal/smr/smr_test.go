@@ -54,10 +54,10 @@ func TestLogBasics(t *testing.T) {
 	if _, ok := l.Get(-1); ok {
 		t.Error("Get(-1) reported ok")
 	}
-	snap := l.Snapshot()
+	snap := l.Entries()
 	snap[0] = "mutated"
 	if v, _ := l.Get(0); v != "a" {
-		t.Error("Snapshot aliases the log")
+		t.Error("Entries aliases the log")
 	}
 }
 
@@ -263,7 +263,7 @@ func TestClusterCompetingProposals(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The later log entry wins the key.
-	log := c.Replica(0).Log.Snapshot()
+	log := c.Replica(0).Log.Entries()
 	var last model.Value
 	for _, e := range log {
 		if e == cmdA || e == cmdB {
@@ -444,7 +444,7 @@ func TestLogAppendBatch(t *testing.T) {
 	l.AppendBatch([]model.Value{"b", "c", "d"})
 	l.Append("e")
 	want := []model.Value{"a", "b", "c", "d", "e"}
-	got := l.Snapshot()
+	got := l.Entries()
 	if len(got) != len(want) {
 		t.Fatalf("log = %v, want %v", got, want)
 	}

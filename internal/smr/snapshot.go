@@ -1,0 +1,256 @@
+package smr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"genconsensus/internal/model"
+	"genconsensus/internal/snapshot"
+)
+
+// SnapshotConfig parameterizes a replica's checkpoint policy.
+type SnapshotConfig struct {
+	// Interval checkpoints every Interval committed instances: instance
+	// numbers are cluster-global, so every honest replica snapshots at the
+	// same boundaries with identical state and identical digests.
+	Interval uint64
+	// KeepApplied bounds the state machine's duplicate-suppression table at
+	// each boundary (snapshot.Pruner), so dedup memory stops growing with
+	// history. 0 disables pruning.
+	KeepApplied int
+}
+
+// ErrTailUnavailable reports that recovery needs log entries every live
+// donor has already compacted away.
+var ErrTailUnavailable = errors.New("smr: log tail compacted away at every donor")
+
+// SnapshotManager maintains one replica's durable checkpoints: every
+// Interval committed instances it prunes the dedup table, encodes the
+// state machine, records the snapshot with its digest, and truncates the
+// replica's log below the checkpoint — the compaction that keeps a
+// long-running deployment's memory bounded. Install is the inverse,
+// applied on a recovering replica with a snapshot verified against b+1
+// peers.
+//
+// Checkpoint/MaybeSnapshot must be serialized with commits (they read the
+// log length and state together); the commit paths — Cluster.commitDecision
+// and CommitQueue.Deliver — already guarantee that. Latest may be called
+// concurrently (it is the transport's snapshot provider).
+type SnapshotManager struct {
+	r       *Replica
+	snapper snapshot.Snapshotter
+	cfg     SnapshotConfig
+
+	mu     sync.Mutex
+	latest *snapshot.Snapshot
+	digest [32]byte
+	taken  int
+}
+
+// NewSnapshotManager builds a manager over the replica. The replica's
+// state machine must implement snapshot.Snapshotter and the interval must
+// be positive.
+func NewSnapshotManager(r *Replica, cfg SnapshotConfig) (*SnapshotManager, error) {
+	snapper, ok := r.SM.(snapshot.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("smr: state machine %T cannot snapshot", r.SM)
+	}
+	if cfg.Interval == 0 {
+		return nil, errors.New("smr: snapshot interval must be positive")
+	}
+	return &SnapshotManager{r: r, snapper: snapper, cfg: cfg}, nil
+}
+
+// MaybeSnapshot checkpoints when the just-committed instance lands on an
+// interval boundary. It reports whether a snapshot was taken.
+func (m *SnapshotManager) MaybeSnapshot(instance uint64) bool {
+	if instance == 0 || instance%m.cfg.Interval != 0 {
+		return false
+	}
+	m.Checkpoint(instance)
+	return true
+}
+
+// Checkpoint unconditionally snapshots the replica at the given instance
+// watermark: prune the dedup table, encode the state, record the snapshot
+// and compact the log below it. Every step is deterministic, so replicas
+// checkpointing the same instance produce identical digests.
+func (m *SnapshotManager) Checkpoint(instance uint64) *snapshot.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latest != nil && instance <= m.latest.LastInstance {
+		return m.latest
+	}
+	if m.cfg.KeepApplied > 0 {
+		if p, ok := m.snapper.(snapshot.Pruner); ok {
+			p.PruneApplied(m.cfg.KeepApplied)
+		}
+	}
+	snap := &snapshot.Snapshot{
+		LastInstance: instance,
+		LogIndex:     uint64(m.r.Log.Len()),
+		State:        m.snapper.SnapshotState(),
+	}
+	m.latest = snap
+	m.digest = snapshot.Digest(snap)
+	m.taken++
+	m.r.Log.TruncatePrefix(snap.LogIndex)
+	return snap
+}
+
+// Latest returns the most recent checkpoint and its digest.
+func (m *SnapshotManager) Latest() (*snapshot.Snapshot, [32]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latest == nil {
+		return nil, [32]byte{}, false
+	}
+	return m.latest, m.digest, true
+}
+
+// Taken reports how many checkpoints this manager has produced (tests and
+// metrics).
+func (m *SnapshotManager) Taken() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.taken
+}
+
+// Install replaces the replica's state with a (verified) snapshot: the
+// state machine is restored, the log restarts at the snapshot index, and
+// the snapshot becomes this manager's latest. Verification — b+1 matching
+// digests — is the caller's duty (transport.FetchVerifiedSnapshot or
+// Cluster.Recover); Install trusts its argument.
+func (m *SnapshotManager) Install(snap *snapshot.Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.snapper.RestoreState(snap.State); err != nil {
+		return fmt.Errorf("smr: installing snapshot: %w", err)
+	}
+	m.r.Log.Reset(snap.LogIndex)
+	m.latest = snap
+	m.digest = snapshot.Digest(snap)
+	return nil
+}
+
+// EnableSnapshots installs a snapshot manager on every replica. Every
+// state machine must implement snapshot.Snapshotter. Must be called before
+// instances run.
+func (c *Cluster) EnableSnapshots(cfg SnapshotConfig) error {
+	managers := make([]*SnapshotManager, len(c.replicas))
+	for i, r := range c.replicas {
+		m, err := NewSnapshotManager(r, cfg)
+		if err != nil {
+			return err
+		}
+		managers[i] = m
+	}
+	c.mu.Lock()
+	c.managers = managers
+	c.mu.Unlock()
+	return nil
+}
+
+// Manager returns replica p's snapshot manager (nil before
+// EnableSnapshots).
+func (c *Cluster) Manager(p model.PID) *SnapshotManager {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.managers == nil {
+		return nil
+	}
+	return c.managers[p]
+}
+
+// Recover rejoins a crashed member: the simulated counterpart of the
+// transport's crash-recovery state transfer. The recovering replica
+// installs the newest snapshot whose digest at least b+1 live honest
+// replicas agree on (a Byzantine minority cannot feed it forged state),
+// replays the log tail above it from a live donor, and is then live again
+// — from the next instance on it proposes and commits normally, and
+// CheckConsistency holds it to the same standard as every other live
+// member.
+//
+// Without snapshots enabled the replica catches up by full tail replay,
+// which works only while donors retain their whole logs. Like
+// RunInstance/Drain, Recover must be called from the scheduler goroutine,
+// not concurrently with running instances.
+func (c *Cluster) Recover(p model.PID) error {
+	c.mu.Lock()
+	if int(p) < 0 || int(p) >= c.params.N {
+		c.mu.Unlock()
+		return fmt.Errorf("smr: no member %d", p)
+	}
+	if _, byz := c.byzantine[p]; byz {
+		c.mu.Unlock()
+		return fmt.Errorf("smr: member %d is Byzantine, not crashed", p)
+	}
+	if !c.crashed[p] {
+		c.mu.Unlock()
+		return fmt.Errorf("smr: member %d is not crashed", p)
+	}
+	managers := c.managers
+	need := c.params.B + 1
+	c.mu.Unlock()
+
+	rep := c.replicas[p]
+	live := c.liveSet()
+
+	// Verified snapshot: the newest checkpoint backed by b+1 matching
+	// digests among live honest replicas.
+	var chosen *snapshot.Snapshot
+	if managers != nil {
+		votes := make(map[[32]byte]int)
+		snaps := make(map[[32]byte]*snapshot.Snapshot)
+		for _, r := range c.replicas {
+			if !live[r.ID] {
+				continue
+			}
+			if s, d, ok := managers[r.ID].Latest(); ok {
+				votes[d]++
+				snaps[d] = s
+			}
+		}
+		for d, n := range votes {
+			if n < need {
+				continue
+			}
+			if chosen == nil || snaps[d].LastInstance > chosen.LastInstance {
+				chosen = snaps[d]
+			}
+		}
+	}
+	if chosen != nil && chosen.LogIndex > uint64(rep.Log.Len()) {
+		if err := managers[p].Install(chosen); err != nil {
+			return err
+		}
+	}
+
+	// Log tail: replay everything the snapshot does not cover from any
+	// live donor that still retains it.
+	from := uint64(rep.Log.Len())
+	var tail []model.Value
+	found := false
+	for _, donor := range c.replicas {
+		if !live[donor.ID] || donor.ID == p {
+			continue
+		}
+		if t, ok := donor.Log.Tail(from); ok {
+			tail = t
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: member %d needs entries from %d", ErrTailUnavailable, p, from)
+	}
+	for _, entry := range tail {
+		rep.Commit(entry)
+	}
+
+	c.mu.Lock()
+	delete(c.crashed, p)
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,67 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []*Snapshot{
+		{LastInstance: 0, LogIndex: 0, State: nil},
+		{LastInstance: 7, LogIndex: 42, State: []byte("hello")},
+		{LastInstance: 1 << 40, LogIndex: 1 << 33, State: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for i, want := range cases {
+		got, err := Decode(Encode(want))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.LastInstance != want.LastInstance || got.LogIndex != want.LogIndex {
+			t.Fatalf("case %d: meta %d/%d, want %d/%d",
+				i, got.LastInstance, got.LogIndex, want.LastInstance, want.LogIndex)
+		}
+		if !bytes.Equal(got.State, want.State) {
+			t.Fatalf("case %d: state mismatch", i)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	s := &Snapshot{LastInstance: 9, LogIndex: 100, State: []byte("state")}
+	if !bytes.Equal(Encode(s), Encode(s)) {
+		t.Fatal("encoding not deterministic")
+	}
+	if Digest(s) != Digest(&Snapshot{LastInstance: 9, LogIndex: 100, State: []byte("state")}) {
+		t.Fatal("digests of identical snapshots differ")
+	}
+}
+
+func TestDigestDiscriminates(t *testing.T) {
+	base := &Snapshot{LastInstance: 9, LogIndex: 100, State: []byte("state")}
+	mutants := []*Snapshot{
+		{LastInstance: 10, LogIndex: 100, State: []byte("state")},
+		{LastInstance: 9, LogIndex: 101, State: []byte("state")},
+		{LastInstance: 9, LogIndex: 100, State: []byte("statf")},
+	}
+	for i, m := range mutants {
+		if Digest(m) == Digest(base) {
+			t.Fatalf("mutant %d collides with base digest", i)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := Encode(&Snapshot{LastInstance: 1, LogIndex: 2, State: []byte("abc")})
+	bad := [][]byte{
+		nil,
+		good[:10],                                // truncated header
+		good[:len(good)-1],                       // truncated state
+		append(append([]byte{}, good...), 'x'),   // trailing byte
+		append([]byte("XXSNAP1\n"), good[8:]...), // bad magic
+	}
+	for i, b := range bad {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("case %d: decoded malformed input", i)
+		}
+	}
+}

@@ -71,12 +71,12 @@ func TestReplicatedKVOverTCP(t *testing.T) {
 	}
 
 	// All logs identical, all queues drained, all stores agree.
-	ref := replicas[0].Log.Snapshot()
+	ref := replicas[0].Log.Entries()
 	if len(ref) != len(cmds) {
 		t.Fatalf("log length = %d, want %d (%v)", len(ref), len(cmds), ref)
 	}
 	for i := 1; i < n; i++ {
-		log := replicas[i].Log.Snapshot()
+		log := replicas[i].Log.Entries()
 		if len(log) != len(ref) {
 			t.Fatalf("replica %d log length %d != %d", i, len(log), len(ref))
 		}
@@ -242,12 +242,12 @@ func TestPipelinedKVOverTCP(t *testing.T) {
 	}
 
 	// Logs identical across nodes, every command decided exactly once.
-	ref := replicas[0].Log.Snapshot()
+	ref := replicas[0].Log.Entries()
 	if len(ref) != instances*batch {
 		t.Fatalf("log length = %d, want %d", len(ref), instances*batch)
 	}
 	for i := 1; i < n; i++ {
-		log := replicas[i].Log.Snapshot()
+		log := replicas[i].Log.Entries()
 		if len(log) != len(ref) {
 			t.Fatalf("replica %d log length %d != %d", i, len(log), len(ref))
 		}

@@ -1,0 +1,398 @@
+package transport
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"genconsensus/internal/auth"
+	"genconsensus/internal/model"
+	"genconsensus/internal/snapshot"
+	"genconsensus/internal/wire"
+)
+
+// State transfer: the crash-recovery exchange. A recovering node dials a
+// peer on its consensus address and sends a snapshot request; the peer's
+// read loop answers on the same connection with the latest checkpoint,
+// chunked into MAC-protected frames. Pairwise MACs rule out third-party
+// tampering, but the serving peer itself may be Byzantine — so a joiner
+// calls FetchVerifiedSnapshot, which accepts a snapshot only when b+1
+// peers present the same digest: under the Byzantine budget at least one
+// of them is honest, and honest replicas checkpoint deterministically, so
+// a matching digest pins the true state.
+
+// SnapshotProvider serves the node's latest checkpoint. Implementations
+// must be safe for concurrent use (the read loops call it).
+type SnapshotProvider func() (*snapshot.Snapshot, bool)
+
+// Errors returned by state transfer.
+var (
+	ErrNoSnapshot     = errors.New("transport: peer has no snapshot")
+	ErrSnapshotQuorum = errors.New("transport: no snapshot digest matched by the required quorum")
+	ErrBadSnapshot    = errors.New("transport: snapshot transfer failed verification")
+	ErrUnknownPeer    = errors.New("transport: no address for peer")
+	ErrNotCached      = errors.New("transport: decision not in the peer's cache")
+	ErrDecisionQuorum = errors.New("transport: no decided value matched by the required quorum")
+)
+
+// SetSnapshotProvider installs the checkpoint source served to peers.
+func (n *Node) SetSnapshotProvider(p SnapshotProvider) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.provider = p
+}
+
+// SetPeers replaces the peer address map — used when addresses are known
+// only after every node has bound (":0" clusters). Call before consensus
+// traffic starts.
+func (n *Node) SetPeers(peers map[model.PID]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Peers = peers
+}
+
+// RecordDecision caches one committed instance's decided value so that
+// catching-up peers can fetch it (DecisionRequest) after the instance's
+// consensus buffers are released. The ring is bounded by
+// Config.DecisionCache, oldest evicted first.
+func (n *Node) RecordDecision(instance uint64, decided model.Value) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.decisions[instance]; ok {
+		return
+	}
+	n.decisions[instance] = decided
+	n.decisionLog = append(n.decisionLog, instance)
+	for len(n.decisionLog) > n.cfg.DecisionCache {
+		delete(n.decisions, n.decisionLog[0])
+		n.decisionLog = n.decisionLog[1:]
+	}
+}
+
+// handleSnapFrame serves one authenticated state-transfer request
+// (snapshot or cached decision) on the inbound connection it arrived on.
+// Responses are written directly to that connection: the requester reads
+// them synchronously, so the exchange never touches the consensus
+// instance buffers.
+func (n *Node) handleSnapFrame(conn net.Conn, payload []byte) {
+	env, err := wire.DecodeSnap(payload)
+	if err != nil {
+		return
+	}
+	if int(env.Sender) < 0 || int(env.Sender) >= n.cfg.N || env.Sender == n.cfg.ID {
+		return
+	}
+	key := auth.PairKey(n.cfg.AuthSeed, env.Sender, n.cfg.ID)
+	if !auth.CheckMAC(key, wire.SnapVerifyPayload(env), env.Auth) {
+		return
+	}
+	if env.Kind == wire.DecisionRequest {
+		n.serveDecision(conn, key, env.LastInstance)
+		return
+	}
+	if env.Kind != wire.SnapRequest {
+		return // chunks flow request→response only; anything else is noise
+	}
+	n.mu.Lock()
+	provider := n.provider
+	n.mu.Unlock()
+	var snap *snapshot.Snapshot
+	ok := false
+	if provider != nil {
+		snap, ok = provider()
+	}
+	if !ok || snap == nil {
+		none := wire.SnapEnvelope{Kind: wire.SnapNone, Sender: n.cfg.ID}
+		none.Auth = auth.MAC(key, wire.SnapVerifyPayload(none))
+		_ = wire.WriteFrame(conn, wire.EncodeSnap(none))
+		return
+	}
+	data := snapshot.Encode(snap)
+	digest := sha256.Sum256(data)
+	chunkBytes := n.cfg.SnapChunkBytes
+	count := (len(data) + chunkBytes - 1) / chunkBytes
+	if count == 0 {
+		count = 1 // an empty state still travels as one empty chunk
+	}
+	for i := 0; i < count; i++ {
+		lo := i * chunkBytes
+		hi := lo + chunkBytes
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunk := wire.SnapEnvelope{
+			Kind:         wire.SnapChunk,
+			Sender:       n.cfg.ID,
+			LastInstance: snap.LastInstance,
+			LogIndex:     snap.LogIndex,
+			Digest:       digest[:],
+			ChunkIndex:   uint32(i),
+			ChunkCount:   uint32(count),
+			Data:         data[lo:hi],
+		}
+		chunk.Auth = auth.MAC(key, wire.SnapVerifyPayload(chunk))
+		if err := wire.WriteFrame(conn, wire.EncodeSnap(chunk)); err != nil {
+			return
+		}
+	}
+}
+
+// serveDecision answers one DecisionRequest from the cache (SnapNone when
+// evicted or never seen).
+func (n *Node) serveDecision(conn net.Conn, key auth.MACKey, instance uint64) {
+	n.mu.Lock()
+	decided, ok := n.decisions[instance]
+	n.mu.Unlock()
+	reply := wire.SnapEnvelope{Kind: wire.SnapNone, Sender: n.cfg.ID, LastInstance: instance}
+	if ok {
+		reply.Kind = wire.DecisionReply
+		reply.Data = []byte(decided)
+	}
+	reply.Auth = auth.MAC(key, wire.SnapVerifyPayload(reply))
+	_ = wire.WriteFrame(conn, wire.EncodeSnap(reply))
+}
+
+// FetchDecision retrieves one peer's cached decided value for an instance
+// over a dedicated connection.
+func (n *Node) FetchDecision(from model.PID, instance uint64, timeout time.Duration) (model.Value, error) {
+	n.mu.Lock()
+	addr, ok := n.cfg.Peers[from]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return model.NoValue, ErrClosed
+	}
+	if !ok || addr == "" || from == n.cfg.ID {
+		return model.NoValue, fmt.Errorf("%w: %d", ErrUnknownPeer, from)
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return model.NoValue, fmt.Errorf("transport: dialing %d: %w", from, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+
+	key := auth.PairKey(n.cfg.AuthSeed, n.cfg.ID, from)
+	req := wire.SnapEnvelope{Kind: wire.DecisionRequest, Sender: n.cfg.ID, LastInstance: instance}
+	req.Auth = auth.MAC(key, wire.SnapVerifyPayload(req))
+	if err := wire.WriteFrame(conn, wire.EncodeSnap(req)); err != nil {
+		return model.NoValue, fmt.Errorf("transport: requesting decision from %d: %w", from, err)
+	}
+	payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return model.NoValue, fmt.Errorf("transport: reading decision from %d: %w", from, err)
+	}
+	env, err := wire.DecodeSnap(payload)
+	if err != nil {
+		return model.NoValue, fmt.Errorf("%w: peer %d: %v", ErrBadSnapshot, from, err)
+	}
+	if env.Sender != from || !auth.CheckMAC(key, wire.SnapVerifyPayload(env), env.Auth) ||
+		env.LastInstance != instance {
+		return model.NoValue, fmt.Errorf("%w: peer %d: bad decision reply", ErrBadSnapshot, from)
+	}
+	switch env.Kind {
+	case wire.SnapNone:
+		return model.NoValue, fmt.Errorf("%w: peer %d instance %d", ErrNotCached, from, instance)
+	case wire.DecisionReply:
+		return model.Value(env.Data), nil
+	default:
+		return model.NoValue, fmt.Errorf("%w: peer %d: kind %d", ErrBadSnapshot, from, env.Kind)
+	}
+}
+
+// FetchVerifiedDecision fetches an instance's decided value from the given
+// peers and returns it once at least `quorum` of them report the identical
+// value. With quorum b+1 at least one attester is honest, and honest nodes
+// cache only genuinely decided values, so agreement pins the answer — a
+// Byzantine minority cannot feed a laggard a forged decision. It is the
+// catch-up path for instances between a transferred checkpoint and the
+// cluster head, which the peers have committed, released and will never
+// run again.
+func (n *Node) FetchVerifiedDecision(peers []model.PID, instance uint64, quorum int, timeout time.Duration) (model.Value, error) {
+	if quorum < 1 {
+		quorum = 1
+	}
+	values := make([]model.Value, len(peers))
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		if p == n.cfg.ID {
+			errs[i] = ErrUnknownPeer
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p model.PID) {
+			defer wg.Done()
+			values[i], errs[i] = n.FetchDecision(p, instance, timeout)
+		}(i, p)
+	}
+	wg.Wait()
+	counts := make(map[model.Value]int)
+	var fetchErrs []error
+	for i := range values {
+		if errs[i] != nil {
+			fetchErrs = append(fetchErrs, errs[i])
+			continue
+		}
+		counts[values[i]]++
+		if counts[values[i]] >= quorum {
+			return values[i], nil
+		}
+	}
+	return model.NoValue, fmt.Errorf("%w: instance %d (quorum %d, %d peers, errors: %v)",
+		ErrDecisionQuorum, instance, quorum, len(peers), errors.Join(fetchErrs...))
+}
+
+// FetchSnapshot retrieves one peer's latest checkpoint over a dedicated
+// connection: request, chunked response, MAC check per frame, digest check
+// over the reassembled encoding. The returned digest is what
+// FetchVerifiedSnapshot compares across peers.
+func (n *Node) FetchSnapshot(from model.PID, timeout time.Duration) (*snapshot.Snapshot, [32]byte, error) {
+	var zero [32]byte
+	n.mu.Lock()
+	addr, ok := n.cfg.Peers[from]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, zero, ErrClosed
+	}
+	if !ok || addr == "" || from == n.cfg.ID {
+		return nil, zero, fmt.Errorf("%w: %d", ErrUnknownPeer, from)
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, zero, fmt.Errorf("transport: dialing %d: %w", from, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+
+	key := auth.PairKey(n.cfg.AuthSeed, n.cfg.ID, from)
+	req := wire.SnapEnvelope{Kind: wire.SnapRequest, Sender: n.cfg.ID}
+	req.Auth = auth.MAC(key, wire.SnapVerifyPayload(req))
+	if err := wire.WriteFrame(conn, wire.EncodeSnap(req)); err != nil {
+		return nil, zero, fmt.Errorf("transport: requesting snapshot from %d: %w", from, err)
+	}
+
+	var assembled []byte
+	var digest []byte
+	var lastInstance, logIndex uint64
+	seen := uint32(0)
+	total := uint32(0)
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return nil, zero, fmt.Errorf("transport: reading snapshot from %d: %w", from, err)
+		}
+		env, err := wire.DecodeSnap(payload)
+		if err != nil {
+			return nil, zero, fmt.Errorf("%w: peer %d: %v", ErrBadSnapshot, from, err)
+		}
+		if env.Sender != from ||
+			!auth.CheckMAC(key, wire.SnapVerifyPayload(env), env.Auth) {
+			return nil, zero, fmt.Errorf("%w: peer %d: bad authenticator", ErrBadSnapshot, from)
+		}
+		if env.Kind == wire.SnapNone {
+			return nil, zero, fmt.Errorf("%w: %d", ErrNoSnapshot, from)
+		}
+		if env.Kind != wire.SnapChunk {
+			return nil, zero, fmt.Errorf("%w: peer %d: kind %d", ErrBadSnapshot, from, env.Kind)
+		}
+		if seen == 0 {
+			total = env.ChunkCount
+			digest = env.Digest
+			lastInstance, logIndex = env.LastInstance, env.LogIndex
+			if total == 0 || total > 1<<20 || len(digest) != sha256.Size {
+				return nil, zero, fmt.Errorf("%w: peer %d: bad transfer header", ErrBadSnapshot, from)
+			}
+		} else if env.ChunkCount != total || !bytes.Equal(env.Digest, digest) ||
+			env.LastInstance != lastInstance || env.LogIndex != logIndex {
+			return nil, zero, fmt.Errorf("%w: peer %d: mixed transfer", ErrBadSnapshot, from)
+		}
+		if env.ChunkIndex != seen {
+			return nil, zero, fmt.Errorf("%w: peer %d: chunk %d, want %d", ErrBadSnapshot, from, env.ChunkIndex, seen)
+		}
+		// Bound what a (possibly Byzantine) peer can make us buffer: the
+		// accumulated payload, not the claimed chunk count, is what costs
+		// memory.
+		if len(assembled)+len(env.Data) > snapshot.MaxStateBytes+1024 {
+			return nil, zero, fmt.Errorf("%w: peer %d: oversized transfer", ErrBadSnapshot, from)
+		}
+		assembled = append(assembled, env.Data...)
+		seen++
+		if seen == total {
+			break
+		}
+	}
+	sum := sha256.Sum256(assembled)
+	if !bytes.Equal(sum[:], digest) {
+		return nil, zero, fmt.Errorf("%w: peer %d: digest mismatch", ErrBadSnapshot, from)
+	}
+	snap, err := snapshot.Decode(assembled)
+	if err != nil {
+		return nil, zero, fmt.Errorf("%w: peer %d: %v", ErrBadSnapshot, from, err)
+	}
+	if snap.LastInstance != lastInstance || snap.LogIndex != logIndex {
+		return nil, zero, fmt.Errorf("%w: peer %d: metadata mismatch", ErrBadSnapshot, from)
+	}
+	return snap, sum, nil
+}
+
+// FetchVerifiedSnapshot fetches checkpoints from the given peers in
+// parallel and returns the newest snapshot whose digest at least `quorum`
+// of them agree on. With quorum b+1 a Byzantine minority can neither forge
+// a snapshot (an honest peer must match it) nor poison the fetch (honest
+// majorities still reach quorum among themselves). Peers that are down,
+// have no checkpoint yet or fail verification simply don't vote.
+func (n *Node) FetchVerifiedSnapshot(peers []model.PID, quorum int, timeout time.Duration) (*snapshot.Snapshot, error) {
+	if quorum < 1 {
+		quorum = 1
+	}
+	type vote struct {
+		snap   *snapshot.Snapshot
+		digest [32]byte
+		err    error
+	}
+	votes := make([]vote, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		if p == n.cfg.ID {
+			votes[i].err = ErrUnknownPeer
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p model.PID) {
+			defer wg.Done()
+			votes[i].snap, votes[i].digest, votes[i].err = n.FetchSnapshot(p, timeout)
+		}(i, p)
+	}
+	wg.Wait()
+	counts := make(map[[32]byte]int)
+	bySum := make(map[[32]byte]*snapshot.Snapshot)
+	var errs []error
+	for i := range votes {
+		if votes[i].err != nil {
+			errs = append(errs, votes[i].err)
+			continue
+		}
+		counts[votes[i].digest]++
+		bySum[votes[i].digest] = votes[i].snap
+	}
+	var best *snapshot.Snapshot
+	for d, c := range counts {
+		if c < quorum {
+			continue
+		}
+		if best == nil || bySum[d].LastInstance > best.LastInstance {
+			best = bySum[d]
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w (quorum %d, %d peers, errors: %v)",
+			ErrSnapshotQuorum, quorum, len(peers), errors.Join(errs...))
+	}
+	return best, nil
+}

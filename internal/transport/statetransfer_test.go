@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"genconsensus/internal/core"
+	"genconsensus/internal/model"
+	"genconsensus/internal/snapshot"
+)
+
+func provide(snap *snapshot.Snapshot) SnapshotProvider {
+	return func() (*snapshot.Snapshot, bool) { return snap, snap != nil }
+}
+
+func peerIDs(ids ...model.PID) []model.PID { return ids }
+
+func TestFetchSnapshotSingleChunk(t *testing.T) {
+	nodes := startCluster(t, 2)
+	want := &snapshot.Snapshot{LastInstance: 12, LogIndex: 40, State: []byte("kv state")}
+	nodes[1].SetSnapshotProvider(provide(want))
+
+	got, digest, err := nodes[0].FetchSnapshot(1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastInstance != want.LastInstance || got.LogIndex != want.LogIndex ||
+		!bytes.Equal(got.State, want.State) {
+		t.Fatalf("fetched %+v, want %+v", got, want)
+	}
+	if digest != snapshot.Digest(want) {
+		t.Error("digest mismatch")
+	}
+}
+
+func TestFetchSnapshotMultiChunk(t *testing.T) {
+	nodes := startCluster(t, 2)
+	// Force many chunks: 1 KiB chunk size against a 10 KiB state.
+	nodes[0].cfg.SnapChunkBytes = 1024
+	nodes[1].cfg.SnapChunkBytes = 1024
+	want := &snapshot.Snapshot{LastInstance: 3, LogIndex: 9, State: bytes.Repeat([]byte{0x5A}, 10*1024)}
+	nodes[1].SetSnapshotProvider(provide(want))
+
+	got, _, err := nodes[0].FetchSnapshot(1, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.State, want.State) {
+		t.Fatal("multi-chunk state corrupted")
+	}
+}
+
+func TestFetchSnapshotNone(t *testing.T) {
+	nodes := startCluster(t, 2)
+	// Node 1 has a provider with nothing yet; node 0's request must get an
+	// explicit SnapNone, not a timeout.
+	nodes[1].SetSnapshotProvider(provide(nil))
+	start := time.Now()
+	_, _, err := nodes[0].FetchSnapshot(1, 5*time.Second)
+	if !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("SnapNone waited for the timeout")
+	}
+}
+
+// FetchVerifiedSnapshot requires b+1 matching digests: a single lying peer
+// can neither impose its forged snapshot nor block the honest quorum.
+func TestFetchVerifiedSnapshotOutvotesForgery(t *testing.T) {
+	nodes := startCluster(t, 4)
+	honest := &snapshot.Snapshot{LastInstance: 20, LogIndex: 60, State: []byte("honest state")}
+	forged := &snapshot.Snapshot{LastInstance: 99, LogIndex: 999, State: []byte("forged state")}
+	nodes[1].SetSnapshotProvider(provide(honest))
+	nodes[2].SetSnapshotProvider(provide(honest))
+	nodes[3].SetSnapshotProvider(provide(forged)) // Byzantine: b=1
+
+	if got, err := nodes[0].FetchVerifiedSnapshot(nil, 2, time.Second); err == nil {
+		t.Fatalf("empty peer set produced %+v", got)
+	}
+
+	got, err := nodes[0].FetchVerifiedSnapshot(peerIDs(1, 2, 3), 2, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.State, honest.State) || got.LastInstance != honest.LastInstance {
+		t.Fatalf("verified snapshot is not the honest one: %+v", got)
+	}
+}
+
+// A forged snapshot backed by fewer than quorum peers fails entirely
+// rather than installing junk.
+func TestFetchVerifiedSnapshotQuorumFailure(t *testing.T) {
+	nodes := startCluster(t, 4)
+	nodes[1].SetSnapshotProvider(provide(&snapshot.Snapshot{LastInstance: 1, State: []byte("a")}))
+	nodes[2].SetSnapshotProvider(provide(&snapshot.Snapshot{LastInstance: 2, State: []byte("b")}))
+	nodes[3].SetSnapshotProvider(provide(&snapshot.Snapshot{LastInstance: 3, State: []byte("c")}))
+	_, err := nodes[0].FetchVerifiedSnapshot(peerIDs(1, 2, 3), 2, 2*time.Second)
+	if !errors.Is(err, ErrSnapshotQuorum) {
+		t.Fatalf("err = %v, want ErrSnapshotQuorum", err)
+	}
+}
+
+// Among multiple quorum-backed digests the newest watermark wins.
+func TestFetchVerifiedSnapshotPrefersNewest(t *testing.T) {
+	nodes := startCluster(t, 5)
+	old := &snapshot.Snapshot{LastInstance: 4, LogIndex: 10, State: []byte("old")}
+	newer := &snapshot.Snapshot{LastInstance: 8, LogIndex: 22, State: []byte("new")}
+	nodes[1].SetSnapshotProvider(provide(old))
+	nodes[2].SetSnapshotProvider(provide(old))
+	nodes[3].SetSnapshotProvider(provide(newer))
+	nodes[4].SetSnapshotProvider(provide(newer))
+	got, err := nodes[0].FetchVerifiedSnapshot(peerIDs(1, 2, 3, 4), 2, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastInstance != newer.LastInstance {
+		t.Fatalf("picked watermark %d, want %d", got.LastInstance, newer.LastInstance)
+	}
+}
+
+func TestFetchDecision(t *testing.T) {
+	nodes := startCluster(t, 2)
+	nodes[1].RecordDecision(7, "decided-value")
+	got, err := nodes[0].FetchDecision(1, 7, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "decided-value" {
+		t.Fatalf("decision = %q", got)
+	}
+	if _, err := nodes[0].FetchDecision(1, 8, time.Second); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("uncached instance: err = %v, want ErrNotCached", err)
+	}
+}
+
+func TestDecisionCacheEviction(t *testing.T) {
+	nodes := startCluster(t, 2)
+	nodes[1].cfg.DecisionCache = 4
+	for i := uint64(1); i <= 10; i++ {
+		nodes[1].RecordDecision(i, model.Value(fmt.Sprintf("v%d", i)))
+	}
+	if _, err := nodes[0].FetchDecision(1, 2, time.Second); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("evicted instance still served: %v", err)
+	}
+	if got, err := nodes[0].FetchDecision(1, 10, time.Second); err != nil || got != "v10" {
+		t.Fatalf("recent instance: %q, %v", got, err)
+	}
+}
+
+// A lying peer cannot feed a laggard a forged decision: b+1 matching
+// values are required, and the honest majority outvotes it.
+func TestFetchVerifiedDecisionOutvotesForgery(t *testing.T) {
+	nodes := startCluster(t, 4)
+	nodes[1].RecordDecision(3, "honest")
+	nodes[2].RecordDecision(3, "honest")
+	nodes[3].RecordDecision(3, "forged")
+	got, err := nodes[0].FetchVerifiedDecision(peerIDs(1, 2, 3), 3, 2, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "honest" {
+		t.Fatalf("verified decision = %q", got)
+	}
+	// Without an honest quorum the fetch fails outright.
+	nodes[1].RecordDecision(9, "a")
+	nodes[2].RecordDecision(9, "b")
+	nodes[3].RecordDecision(9, "c")
+	if _, err := nodes[0].FetchVerifiedDecision(peerIDs(1, 2, 3), 9, 2, 2*time.Second); !errors.Is(err, ErrDecisionQuorum) {
+		t.Fatalf("split votes: err = %v, want ErrDecisionQuorum", err)
+	}
+}
+
+// RunProc aborts promptly once its instance is released locally (a
+// catch-up committed it another way) instead of burning its round budget.
+func TestRunProcAbortsOnRelease(t *testing.T) {
+	nodes := startCluster(t, 2)
+	params := pbftParams(2, 0)
+	params.TD = 2
+	proc, err := core.NewProcess(0, "x", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 never participates, so instance 5 cannot decide; release it
+	// mid-run and the proc must abort with ErrInstanceReleased well before
+	// the 1000-round budget.
+	done := make(chan error, 1)
+	go func() {
+		_, err := nodes[0].RunProc(5, proc, 1000, 2)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	nodes[0].ReleaseInstance(5)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInstanceReleased) {
+			t.Fatalf("err = %v, want ErrInstanceReleased", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunProc did not abort after release")
+	}
+}
+
+// A peer that is down just doesn't vote; the survivors still reach quorum.
+func TestFetchVerifiedSnapshotSurvivesDownPeer(t *testing.T) {
+	nodes := startCluster(t, 4)
+	honest := &snapshot.Snapshot{LastInstance: 5, LogIndex: 17, State: []byte("state")}
+	nodes[1].SetSnapshotProvider(provide(honest))
+	nodes[2].SetSnapshotProvider(provide(honest))
+	if err := nodes[3].Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nodes[0].FetchVerifiedSnapshot(peerIDs(1, 2, 3), 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastInstance != honest.LastInstance {
+		t.Fatalf("got watermark %d", got.LastInstance)
+	}
+}

@@ -60,12 +60,26 @@ type Config struct {
 	// instanceBuf per fabricated future instance id and run the node out
 	// of memory.
 	WindowInstances int
+	// SnapChunkBytes sizes state-transfer chunks (default 64 KiB, clamped
+	// to wire.MaxSnapDataBytes). Tests shrink it to exercise multi-chunk
+	// reassembly.
+	SnapChunkBytes int
+	// DecisionCache bounds the recent-decision ring served to catching-up
+	// peers (default 256 instances). It should exceed the snapshot
+	// interval so a recovering replica can always bridge the gap between
+	// the newest checkpoint and the cluster head.
+	DecisionCache int
 }
 
 // Errors returned by the transport.
 var (
 	ErrClosed     = errors.New("transport: node closed")
 	ErrNoDecision = errors.New("transport: no decision within round budget")
+	// ErrInstanceReleased aborts a RunProc whose instance this node has
+	// already released: the instance is finished business cluster-wide
+	// (committed locally, or covered by an installed snapshot), so running
+	// rounds for it only burns a pipeline slot.
+	ErrInstanceReleased = errors.New("transport: instance already released")
 )
 
 // Node is one cluster member's transport endpoint.
@@ -80,6 +94,9 @@ type Node struct {
 	released    uint64 // high-watermark of released instance ids
 	hasReleased bool   // distinguishes "nothing released" from watermark 0
 	closed      bool
+	provider    SnapshotProvider
+	decisions   map[uint64]model.Value // recent decided values, served to laggards
+	decisionLog []uint64               // ring order for eviction
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -126,6 +143,15 @@ func Listen(cfg Config) (*Node, error) {
 	if cfg.WindowInstances <= 0 {
 		cfg.WindowInstances = 4096
 	}
+	if cfg.SnapChunkBytes <= 0 {
+		cfg.SnapChunkBytes = 64 << 10
+	}
+	if cfg.SnapChunkBytes > wire.MaxSnapDataBytes {
+		cfg.SnapChunkBytes = wire.MaxSnapDataBytes
+	}
+	if cfg.DecisionCache <= 0 {
+		cfg.DecisionCache = 256
+	}
 	addr := cfg.ListenAddr
 	if addr == "" {
 		addr = cfg.Peers[cfg.ID]
@@ -140,6 +166,7 @@ func Listen(cfg Config) (*Node, error) {
 		conns:     make(map[model.PID]*peerConn),
 		inbound:   make(map[net.Conn]struct{}),
 		instances: make(map[uint64]*instanceBuf),
+		decisions: make(map[uint64]model.Value),
 		stop:      make(chan struct{}),
 	}
 	n.wg.Add(1)
@@ -224,6 +251,10 @@ func (n *Node) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		if wire.IsSnapPayload(payload) {
+			n.handleSnapFrame(conn, payload)
+			continue
+		}
 		env, err := wire.Decode(payload)
 		if err != nil {
 			continue // malformed frame: drop, keep the connection
@@ -305,9 +336,9 @@ func (n *Node) send(dst model.PID, env wire.Envelope) {
 		return
 	}
 	pc, ok := n.conns[dst]
+	addr := n.cfg.Peers[dst]
 	n.mu.Unlock()
 	if !ok {
-		addr := n.cfg.Peers[dst]
 		c, err := net.DialTimeout("tcp", addr, n.cfg.BaseTimeout)
 		if err != nil {
 			return
@@ -416,6 +447,12 @@ func (n *Node) RunProc(instance uint64, proc round.Proc, maxRounds, extraRounds 
 			return model.NoValue, ErrClosed
 		default:
 		}
+		if n.instanceReleased(instance) {
+			if decided != model.NoValue {
+				return decided, nil
+			}
+			return model.NoValue, ErrInstanceReleased
+		}
 		out := proc.Send(r)
 		for dst, msg := range out {
 			env := wire.Envelope{Instance: instance, Round: r, Sender: n.cfg.ID, Msg: msg}
@@ -439,6 +476,14 @@ func (n *Node) RunProc(instance uint64, proc round.Proc, maxRounds, extraRounds 
 		return decided, nil
 	}
 	return model.NoValue, ErrNoDecision
+}
+
+// instanceReleased reports whether the instance is at or below the release
+// watermark.
+func (n *Node) instanceReleased(instance uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hasReleased && instance <= n.released
 }
 
 // HasInstance reports whether any message for the instance has been

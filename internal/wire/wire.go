@@ -137,6 +137,22 @@ func (r *reader) bytes() []byte {
 	return b
 }
 
+// bytes32 reads a u32-length-prefixed byte string (snapshot chunks exceed
+// the u16 range).
+func (r *reader) bytes32() []byte {
+	n := int(r.u32())
+	if n > MaxFrameSize {
+		r.err = ErrTruncated
+		return nil
+	}
+	if !r.need(n) {
+		return nil
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return b
+}
+
 // maxRelayDepth bounds nested relay batches (a relay of relays is the
 // deepest shape the WIC protocols produce).
 const maxRelayDepth = 2
