@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-tcp fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth fmt fmt-check vet ci
 
 # Iteration budget for bench-json; CI uses the fast single pass.
 BENCHTIME ?= 1x
@@ -43,6 +43,16 @@ bench-tcp:
 	$(GO) run ./cmd/kvload -depths $(KVLOAD_DEPTHS) -cmds $(KVLOAD_CMDS) > BENCH_tcp.txt
 	cat BENCH_tcp.txt
 	$(GO) run ./cmd/benchjson < BENCH_tcp.txt > BENCH_tcp.json
+
+# Authenticated-command benchmark artifact: signed vs legacy command path at
+# batch=64, W=4 (BENCH_auth.{txt,json}); CI uploads both. BENCHTIME should
+# be a multiple pass (e.g. 20x) for stable cmds/sec numbers.
+AUTH_BENCHTIME ?= 20x
+
+bench-auth:
+	$(GO) test -bench=SMRAuthenticated -benchtime=$(AUTH_BENCHTIME) -run='^$$' . > BENCH_auth.txt
+	cat BENCH_auth.txt
+	$(GO) run ./cmd/benchjson < BENCH_auth.txt > BENCH_auth.json
 
 fmt:
 	gofmt -w .

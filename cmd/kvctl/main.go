@@ -8,8 +8,22 @@
 // the SMR layer decides them as one batch (one consensus instance for the
 // whole set instead of one per key).
 //
+// Against an authenticated cluster (kvnode -client-auth) pass -auth: kvctl
+// then signs every write at submit time — it derives its client key from
+// (-client-seed, -client-id), MACs the canonical command payload, and sends
+// ACMD lines carrying (client, seq, mac) so replicas can verify provenance
+// before queueing. Sequence numbers continue from the cluster's view of the
+// client (the ASEQ protocol verb reports the highest applied seq; kvctl
+// takes the maximum across replicas), so repeated invocations never replay
+// and never jump the per-client horizon. Concurrent invocations should
+// still use distinct -client-id values: two processes sharing an id race
+// the same sequence space and can bounce each other's in-flight writes.
+// Durable per-client sequence state is the key-distribution follow-up
+// tracked in ROADMAP.md.
+//
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201 set color green
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201 mset color green shape circle size big
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200 -auth -client-id 3 set color green
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 get color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 del color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 loglen
@@ -17,25 +31,86 @@ package main
 
 import (
 	"bufio"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
+
+	"genconsensus/internal/auth"
+	"genconsensus/internal/kv"
 )
+
+// writer builds protocol lines for write commands: anonymous CMD lines in
+// legacy mode, signed ACMD lines in authenticated mode.
+type writer struct {
+	signer  *auth.ClientSigner // nil = legacy
+	seq     uint64
+	seqInit func() uint64 // lazy base discovery; runs once, before the first write
+}
+
+// line formats one write. value is ignored for DEL.
+func (w *writer) line(op, key, value string) string {
+	op = strings.ToUpper(op)
+	if w.signer == nil {
+		reqID := newReqID()
+		if op == "DEL" {
+			return fmt.Sprintf("CMD %s DEL %s", reqID, key)
+		}
+		return fmt.Sprintf("CMD %s SET %s %s", reqID, key, value)
+	}
+	if w.seqInit != nil {
+		w.seq = w.seqInit()
+		w.seqInit = nil
+	}
+	w.seq++
+	mac := hex.EncodeToString(kv.AuthMAC(w.signer, w.seq, op, key, value))
+	if op == "DEL" {
+		return fmt.Sprintf("ACMD %d %d %s DEL %s", w.signer.Client(), w.seq, mac, key)
+	}
+	return fmt.Sprintf("ACMD %d %d %s SET %s %s", w.signer.Client(), w.seq, mac, key, value)
+}
 
 func main() {
 	var (
-		nodes   = flag.String("nodes", "127.0.0.1:7200", "comma-separated client addresses")
-		timeout = flag.Duration("timeout", 10*time.Second, "overall operation timeout")
+		nodes      = flag.String("nodes", "127.0.0.1:7200", "comma-separated client addresses")
+		timeout    = flag.Duration("timeout", 10*time.Second, "overall operation timeout")
+		authMode   = flag.Bool("auth", false, "sign writes (cluster runs with -client-auth)")
+		clientID   = flag.Uint("client-id", 0, "this client's keyring id")
+		clientSeed = flag.Int64("client-seed", 42, "client key derivation seed (must match the cluster)")
+		seqBase    = flag.Uint64("seq", 0, "first sequence number (0 = continue after the cluster's ASEQ horizon)")
 	)
 	flag.Parse()
 	addrs := strings.Split(*nodes, ",")
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("usage: kvctl [-nodes ...] set <k> <v> | mset <k> <v> [<k> <v> ...] | del <k> | get <k> | loglen")
+		fail("usage: kvctl [-nodes ...] [-auth] set <k> <v> | mset <k> <v> [<k> <v> ...] | del <k> | get <k> | loglen")
+	}
+	w := &writer{}
+	if *authMode {
+		w.signer = auth.NewClientSigner(*clientSeed, uint32(*clientID))
+		if *seqBase > 0 {
+			w.seq = *seqBase - 1
+		} else {
+			// Continue after the cluster's highest applied seq for this
+			// client (maximum across replicas — a lagging replica must not
+			// hand out an already-burned base). Lazy: read-only
+			// subcommands never pay the probe round-trips.
+			w.seqInit = func() uint64 {
+				base := uint64(0)
+				for _, addr := range addrs {
+					resp := request(strings.TrimSpace(addr), fmt.Sprintf("ASEQ %d", *clientID))
+					if max, err := strconv.ParseUint(resp, 10, 64); err == nil && max > base {
+						base = max
+					}
+				}
+				return base
+			}
+		}
 	}
 
 	switch strings.ToLower(args[0]) {
@@ -50,8 +125,7 @@ func main() {
 		if len(args) != 3 {
 			fail("usage: set <key> <value>")
 		}
-		reqID := newReqID()
-		broadcast(addrs, fmt.Sprintf("CMD %s SET %s %s", reqID, args[1], args[2]))
+		broadcast(addrs, w.line("SET", args[1], args[2]))
 		waitUntil(addrs[0], "GET "+args[1], args[2], *timeout)
 		fmt.Println("OK")
 	case "mset":
@@ -60,9 +134,8 @@ func main() {
 		}
 		pairs := args[1:]
 		lines := make([]string, 0, len(pairs)/2)
-		base := newReqID()
 		for i := 0; i < len(pairs); i += 2 {
-			lines = append(lines, fmt.Sprintf("CMD %s-%d SET %s %s", base, i/2, pairs[i], pairs[i+1]))
+			lines = append(lines, w.line("SET", pairs[i], pairs[i+1]))
 		}
 		broadcastMany(addrs, lines)
 		// Poll each key for its final value: with a repeated key the later
@@ -83,8 +156,7 @@ func main() {
 		if len(args) != 2 {
 			fail("usage: del <key>")
 		}
-		reqID := newReqID()
-		broadcast(addrs, fmt.Sprintf("CMD %s DEL %s", reqID, args[1]))
+		broadcast(addrs, w.line("DEL", args[1], ""))
 		waitUntil(addrs[0], "GET "+args[1], "NOTFOUND", *timeout)
 		fmt.Println("OK")
 	default:

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"genconsensus/internal/auth"
 	"genconsensus/internal/kv"
 	"genconsensus/internal/model"
 	"genconsensus/internal/node"
@@ -43,6 +45,7 @@ func main() {
 		batch     = flag.Int("batch", 16, "max commands per instance")
 		depths    = flag.String("depths", "1,2,4,8", "comma-separated pipeline depths to sweep")
 		snapEvery = flag.Uint64("snapshot-interval", 4, "checkpoint interval (0 disables)")
+		authMode  = flag.Bool("auth", false, "drive signed client load (authenticated command envelopes)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-run deadline")
 	)
 	flag.Parse()
@@ -50,25 +53,31 @@ func main() {
 	fmt.Printf("goos: %s\n", runtime.GOOS)
 	fmt.Printf("goarch: %s\n", runtime.GOARCH)
 	fmt.Printf("pkg: genconsensus/cmd/kvload\n")
+	name := "BenchmarkTCPKVLoad"
+	if *authMode {
+		name = "BenchmarkTCPKVLoadAuth"
+	}
 	for _, field := range strings.Split(*depths, ",") {
 		depth, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil || depth < 1 {
 			log.Fatalf("kvload: bad depth %q", field)
 		}
-		elapsed, snapBytes, err := run(*n, *b, depth, *batch, *cmds, *snapEvery, *timeout)
+		elapsed, snapBytes, err := run(*n, *b, depth, *batch, *cmds, *snapEvery, *authMode, *timeout)
 		if err != nil {
 			log.Fatalf("kvload: W=%d: %v", depth, err)
 		}
 		perSec := float64(*cmds) / elapsed.Seconds()
-		fmt.Printf("BenchmarkTCPKVLoad/W=%d \t       1\t%12d ns/op\t%12.1f cmds/sec\t%12d snapshot-bytes\n",
-			depth, elapsed.Nanoseconds(), perSec, snapBytes)
+		fmt.Printf("%s/W=%d \t       1\t%12d ns/op\t%12.1f cmds/sec\t%12d snapshot-bytes\n",
+			name, depth, elapsed.Nanoseconds(), perSec, snapBytes)
 	}
 }
 
 // run measures one full load against a fresh cluster at the given pipeline
 // depth: wall-clock from the first client write until every replica has
-// applied every command.
-func run(n, b, depth, batch, cmds int, snapEvery uint64, timeout time.Duration) (time.Duration, int, error) {
+// applied every command. In auth mode the client signs every line (the
+// kvctl -auth shape), so the measurement covers MAC generation,
+// ingress/chooser/apply verification and (client, seq) dedup end to end.
+func run(n, b, depth, batch, cmds int, snapEvery uint64, authMode bool, timeout time.Duration) (time.Duration, int, error) {
 	nodes := make([]*node.Node, n)
 	peers := make(map[model.PID]string, n)
 	defer func() {
@@ -88,6 +97,7 @@ func run(n, b, depth, batch, cmds int, snapEvery uint64, timeout time.Duration) 
 			Pipeline:         depth,
 			SnapshotInterval: snapEvery,
 			AppliedKeep:      4096,
+			ClientAuth:       authMode,
 			BaseTimeout:      40 * time.Millisecond,
 		}, kv.NewStore())
 		if err != nil {
@@ -104,8 +114,17 @@ func run(n, b, depth, batch, cmds int, snapEvery uint64, timeout time.Duration) 
 	}
 
 	lines := make([]string, cmds)
-	for i := range lines {
-		lines[i] = fmt.Sprintf("CMD ld-%d SET lk-%d lv-%d", i, i, i)
+	if authMode {
+		signer := auth.NewClientSigner(7, 1)
+		for i := range lines {
+			seq := uint64(i + 1)
+			mac := hex.EncodeToString(kv.AuthMAC(signer, seq, "SET", fmt.Sprintf("lk-%d", i), fmt.Sprintf("lv-%d", i)))
+			lines[i] = fmt.Sprintf("ACMD %d %d %s SET lk-%d lv-%d", signer.Client(), seq, mac, i, i)
+		}
+	} else {
+		for i := range lines {
+			lines[i] = fmt.Sprintf("CMD ld-%d SET lk-%d lv-%d", i, i, i)
+		}
 	}
 	payload := strings.Join(lines, "\n") + "\n"
 

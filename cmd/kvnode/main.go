@@ -24,12 +24,18 @@
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201,127.0.0.1:7202,127.0.0.1:7203 set color green
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 get color
 //
+// With -client-auth the node accepts only signed writes (the authenticated
+// command lifecycle): clients MAC each command over (client, seq, payload),
+// ingress/chooser/apply all verify provenance, and dedup keys on
+// (client, seq). Use kvctl -auth against such a cluster.
+//
 // Client protocol (one line per request):
 //
-//	CMD <reqID> SET <key> <value>   → "QUEUED"
-//	CMD <reqID> DEL <key>           → "QUEUED"
-//	GET <key>                       → value or "NOTFOUND"
-//	LOGLEN                          → decided-log length
+//	CMD <reqID> SET <key> <value>             → "QUEUED" (legacy mode)
+//	ACMD <client> <seq> <mac-hex> SET <k> <v> → "QUEUED" (-client-auth)
+//	CMD <reqID> DEL <key>                     → "QUEUED"
+//	GET <key>                                 → value or "NOTFOUND"
+//	LOGLEN                                    → decided-log length
 package main
 
 import (
@@ -48,20 +54,24 @@ import (
 
 func main() {
 	var (
-		id        = flag.Int("id", 0, "this node's process id")
-		n         = flag.Int("n", 4, "cluster size")
-		b         = flag.Int("b", 1, "Byzantine fault tolerance (n must exceed 3b)")
-		f         = flag.Int("f", 0, "benign crash tolerance (0 = PBFT, >0 = class-3 generic)")
-		td        = flag.Int("td", 0, "decision threshold (0 = 2b+1)")
-		listen    = flag.String("listen", "127.0.0.1:7100", "consensus listen address")
-		client    = flag.String("client", "127.0.0.1:7200", "client listen address")
-		peersFlag = flag.String("peers", "", "comma-separated consensus addresses, in pid order")
-		authSeed  = flag.Int64("auth-seed", 42, "cluster authentication seed (must match on all nodes)")
-		maxBatch  = flag.Int("max-batch", smr.MaxBatchSize, "max commands decided per consensus instance")
-		pipeline  = flag.Int("pipeline", 4, "max concurrent consensus instances (1 = serial)")
-		adaptive  = flag.Bool("adaptive-batch", true, "size batches from queue depth and observed instance latency")
-		snapEvery = flag.Uint64("snapshot-interval", 1024, "checkpoint every K committed instances (0 disables snapshots and recovery)")
-		keep      = flag.Int("applied-keep", 1<<16, "dedup-table entries kept at each checkpoint (0 = unbounded)")
+		id         = flag.Int("id", 0, "this node's process id")
+		n          = flag.Int("n", 4, "cluster size")
+		b          = flag.Int("b", 1, "Byzantine fault tolerance (n must exceed 3b)")
+		f          = flag.Int("f", 0, "benign crash tolerance (0 = PBFT, >0 = class-3 generic)")
+		td         = flag.Int("td", 0, "decision threshold (0 = 2b+1)")
+		listen     = flag.String("listen", "127.0.0.1:7100", "consensus listen address")
+		client     = flag.String("client", "127.0.0.1:7200", "client listen address")
+		peersFlag  = flag.String("peers", "", "comma-separated consensus addresses, in pid order")
+		authSeed   = flag.Int64("auth-seed", 42, "cluster authentication seed (must match on all nodes)")
+		maxBatch   = flag.Int("max-batch", smr.MaxBatchSize, "max commands decided per consensus instance")
+		pipeline   = flag.Int("pipeline", 4, "max concurrent consensus instances (1 = serial)")
+		adaptive   = flag.Bool("adaptive-batch", true, "size batches from queue depth and observed instance latency")
+		snapEvery  = flag.Uint64("snapshot-interval", 1024, "checkpoint every K committed instances (0 disables snapshots and recovery)")
+		keep       = flag.Int("applied-keep", 1<<16, "dedup-table entries kept at each checkpoint (0 = unbounded)")
+		clientAuth = flag.Bool("client-auth", false, "require signed client commands (ACMD; provenance checked at every layer)")
+		numClients = flag.Int("num-clients", 16, "provisioned client keyring size (with -client-auth)")
+		clientSeed = flag.Int64("client-seed", 0, "client key derivation seed (0 = -auth-seed; must match kvctl)")
+		clientWin  = flag.Int("client-window", 0, "per-client replay/dedup window (0 = default)")
 	)
 	flag.Parse()
 
@@ -85,6 +95,10 @@ func main() {
 		Adaptive:         *adaptive,
 		SnapshotInterval: *snapEvery,
 		AppliedKeep:      *keep,
+		ClientAuth:       *clientAuth,
+		NumClients:       *numClients,
+		ClientSeed:       *clientSeed,
+		ClientWindow:     *clientWin,
 		Logf:             log.Printf,
 	}, kv.NewStore())
 	if err != nil {

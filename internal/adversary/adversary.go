@@ -205,6 +205,41 @@ func (s *Mimic) Messages(ctx *Ctx, r model.Round) map[model.PID]model.Message {
 	return round.Broadcast(msg, model.AllPIDs(ctx.N))
 }
 
+// Fabricate is the injection shell for proposer-content attacks: each round
+// it broadcasts an attacker-chosen value (drawn from Next — e.g. a batch of
+// forged command envelopes, replayed client commands or signature-stripped
+// payloads) wrapped in honest-looking round metadata (current-phase
+// timestamp and a matching history), so the value survives structural
+// checks and is judged purely on its content. The callback keeps this
+// package free of the batch and envelope codecs: internal/smr supplies
+// concrete fabricators (FabricateCommands, ReplayCommands,
+// StripSignatures).
+type Fabricate struct {
+	// Label names the concrete attack in traces ("byz/" is prefixed).
+	Label string
+	// Next produces the round's injected value. It is called once per
+	// round; returning NoValue silences the round.
+	Next func(ctx *Ctx, r model.Round) model.Value
+}
+
+// Name implements Strategy.
+func (s Fabricate) Name() string { return "byz/" + s.Label }
+
+// Observe implements Strategy.
+func (s Fabricate) Observe(*Ctx, model.Round, model.Received) {}
+
+// Messages implements Strategy.
+func (s Fabricate) Messages(ctx *Ctx, r model.Round) map[model.PID]model.Message {
+	v := s.Next(ctx, r)
+	if v == model.NoValue {
+		return nil
+	}
+	phase, kind := ctx.Sched.At(r)
+	h := model.NewHistory(v).Add(v, phase)
+	msg := model.Message{Kind: kind, Vote: v, TS: phase, History: h}
+	return round.Broadcast(msg, model.AllPIDs(ctx.N))
+}
+
 // FlipFlop alternates between two sub-strategies round by round, modelling
 // intermittently detectable behaviour.
 type FlipFlop struct {

@@ -96,3 +96,47 @@ func TestMAC(t *testing.T) {
 		t.Error("MAC verified under the wrong key")
 	}
 }
+
+func TestClientSignerVerify(t *testing.T) {
+	kr := NewClientKeyring(9, 4)
+	if kr.NumClients() != 4 {
+		t.Fatalf("NumClients = %d", kr.NumClients())
+	}
+	signer := NewClientSigner(9, 2)
+	payload := []byte("c2.7|SET|color|green")
+	mac := signer.Sign(7, payload)
+	if !kr.VerifyCommand(2, 7, payload, mac) {
+		t.Fatal("valid client MAC rejected")
+	}
+	if kr.VerifyCommand(2, 8, payload, mac) {
+		t.Error("MAC verified under the wrong seq")
+	}
+	if kr.VerifyCommand(1, 7, payload, mac) {
+		t.Error("MAC verified under the wrong client")
+	}
+	if kr.VerifyCommand(2, 7, []byte("c2.7|SET|color|red"), mac) {
+		t.Error("MAC verified over a tampered payload")
+	}
+	// Unknown client ids (outside the provisioned keyring) never verify.
+	if kr.VerifyCommand(99, 7, payload, NewClientSigner(9, 99).Sign(7, payload)) {
+		t.Error("command from an unprovisioned client verified")
+	}
+	// A different cluster seed yields disjoint keys.
+	if kr.VerifyCommand(2, 7, payload, NewClientSigner(10, 2).Sign(7, payload)) {
+		t.Error("MAC from a foreign seed verified")
+	}
+}
+
+func TestClientKeyDomainSeparation(t *testing.T) {
+	if ClientKey(3, 0) == ClientKey(3, 1) {
+		t.Error("distinct clients must get distinct keys")
+	}
+	if ClientKey(3, 0) == ClientKey(4, 0) {
+		t.Error("distinct seeds must get distinct keys")
+	}
+	// Client keys must not collide with the pairwise channel keyspace: a
+	// captured channel MAC must never verify as a command MAC.
+	if ClientKey(3, 1) == PairKey(3, 0, 1) {
+		t.Error("client key collides with a pairwise channel key")
+	}
+}

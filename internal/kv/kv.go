@@ -3,12 +3,21 @@
 // {SET, DEL}; reads are served locally. Request IDs deduplicate client
 // retries (at-most-once semantics).
 //
+// In authenticated mode (EnableClientAuth) the store instead receives
+// wire.CommandEnvelope values: it re-verifies each envelope's client MAC —
+// the last line of defence should a fabricated value ever be decided — and
+// deduplicates on (client, seq) through bounded per-client sequence windows
+// rather than an ever-growing request-id table. Window eviction follows the
+// applied sequence, so it is deterministic across replicas, and the windows
+// are part of the snapshot state: at-most-once survives checkpoint,
+// transfer and restore.
+//
 // The store implements snapshot.Snapshotter — its full state (data map plus
-// the duplicate-suppression table, in deterministic order) round-trips
+// the duplicate-suppression state, in deterministic order) round-trips
 // through SnapshotState/RestoreState — so SMR deployments can checkpoint
-// it, compact their logs and transfer it to recovering replicas. The dedup
-// table is boundable (SetAppliedLimit, PruneApplied): without a bound it
-// grows one entry per unique request forever.
+// it, compact their logs and transfer it to recovering replicas. The legacy
+// dedup table is boundable (SetAppliedLimit, PruneApplied): without a bound
+// it grows one entry per unique request forever.
 package kv
 
 import (
@@ -19,19 +28,49 @@ import (
 	"strings"
 	"sync"
 
+	"genconsensus/internal/auth"
 	"genconsensus/internal/model"
+	"genconsensus/internal/wire"
 )
 
-// Store is the deterministic state machine: a string map plus the
-// duplicate-suppression table. The table is kept in apply order
-// (appliedOrder) so that eviction and snapshot encoding are deterministic
-// across replicas.
+// CommandVerifier checks client command MACs. auth.ClientKeyring implements
+// it; the local interface keeps kv free of a crypto dependency.
+type CommandVerifier interface {
+	VerifyCommand(client uint32, seq uint64, payload, mac []byte) bool
+}
+
+// DefaultSeqWindow is the per-client dedup horizon in authenticated mode:
+// how many sequence numbers below a client's highest applied seq keep exact
+// responses. Sequences at or below the horizon answer RespStale without
+// re-executing. Aliased from wire so the apply-side horizon and the SMR
+// replay filter (smr.DefaultSeqWindow) cannot drift apart.
+const DefaultSeqWindow = wire.DefaultSeqWindow
+
+// Canonical responses of the authenticated apply path.
+const (
+	// RespUnauthenticated rejects values that are not valid envelopes
+	// under the verifier (fabricated, stripped or malformed commands).
+	RespUnauthenticated = "ERR unauthenticated command"
+	// RespStale answers sequences below the dedup horizon: the command
+	// was (assumed) applied long ago and its cached response is gone.
+	RespStale = "ERR stale sequence"
+)
+
+// Store is the deterministic state machine: a string map plus
+// duplicate-suppression state — the legacy request-id table, or per-client
+// sequence windows (wire.SeqTracker carrying cached responses) in
+// authenticated mode. Both are maintained in apply order so that eviction
+// and snapshot encoding are deterministic across replicas.
 type Store struct {
 	mu           sync.RWMutex
 	data         map[string]string
 	applied      map[string]string // reqID → response
 	appliedOrder []string          // reqIDs, oldest first
 	appliedLimit int               // 0 = unbounded
+
+	verify    CommandVerifier                     // nil = legacy raw-bytes mode
+	seqWindow uint64                              // per-client horizon (auth mode)
+	clients   map[uint32]*wire.SeqTracker[string] // client → applied seq → response
 }
 
 // NewStore returns an empty store.
@@ -39,7 +78,22 @@ func NewStore() *Store {
 	return &Store{
 		data:    make(map[string]string),
 		applied: make(map[string]string),
+		clients: make(map[uint32]*wire.SeqTracker[string]),
 	}
+}
+
+// EnableClientAuth switches the store to authenticated mode: Apply accepts
+// only envelopes verified by v and deduplicates on (client, seq) within a
+// window of the given size per client (<= 0 picks DefaultSeqWindow). Call
+// before commands are applied.
+func (s *Store) EnableClientAuth(v CommandVerifier, window int) {
+	if window <= 0 {
+		window = DefaultSeqWindow
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.verify = v
+	s.seqWindow = uint64(window)
 }
 
 // Command formats an SMR command. value is ignored for DEL.
@@ -50,36 +104,159 @@ func Command(reqID, op, key, value string) model.Value {
 	return model.Value(fmt.Sprintf("%s|SET|%s|%s", reqID, key, value))
 }
 
+// AuthPayload formats the canonical application payload of an authenticated
+// command: the request id is derived from (client, seq), so the signer and
+// every verifying replica reconstruct the identical byte string from the
+// envelope fields alone.
+func AuthPayload(client uint32, seq uint64, op, key, value string) model.Value {
+	return Command(fmt.Sprintf("c%d.%d", client, seq), op, key, value)
+}
+
+// AuthMAC signs the canonical payload for (signer, seq): the tag a client
+// sends alongside its command fields (e.g. kvctl's ACMD line), and the tag
+// SignedCommand embeds.
+func AuthMAC(signer *auth.ClientSigner, seq uint64, op, key, value string) []byte {
+	payload := AuthPayload(signer.Client(), seq, op, key, value)
+	return signer.Sign(seq, []byte(payload))
+}
+
+// SignedCommand builds the complete encoded command envelope for one
+// operation: canonical payload, client MAC, wire encoding. It is what
+// in-process clients (tests, benchmarks, cmd/kvload) submit in
+// authenticated mode.
+func SignedCommand(signer *auth.ClientSigner, seq uint64, op, key, value string) (model.Value, error) {
+	payload := AuthPayload(signer.Client(), seq, op, key, value)
+	enc, err := wire.EncodeCommand(wire.CommandEnvelope{
+		Client:  signer.Client(),
+		Seq:     seq,
+		Payload: string(payload),
+		MAC:     signer.Sign(seq, []byte(payload)),
+	})
+	if err != nil {
+		return model.NoValue, fmt.Errorf("kv: encoding signed command: %w", err)
+	}
+	return model.Value(enc), nil
+}
+
 // Apply implements smr.StateMachine.
 func (s *Store) Apply(cmd model.Value) string {
+	s.mu.RLock()
+	verify := s.verify
+	s.mu.RUnlock()
+	if verify != nil {
+		// Decode and MAC-check before taking the write lock: verification
+		// is a pure function of the command bytes, and holding every
+		// concurrent reader behind an HMAC per batched command would make
+		// the apply path a read stall.
+		env, err := wire.DecodeCommand(string(cmd))
+		if err != nil || !verify.VerifyCommand(env.Client, env.Seq, []byte(env.Payload), env.MAC) {
+			return RespUnauthenticated
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.applyAuthLocked(env)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	reqID, op, key, value, err := Parse(cmd)
 	if err != nil {
 		return "ERR " + err.Error()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if resp, done := s.applied[reqID]; done {
 		return resp // duplicate client retry
 	}
-	var resp string
-	switch op {
-	case "SET":
-		s.data[key] = value
-		resp = "OK"
-	case "DEL":
-		if _, ok := s.data[key]; ok {
-			delete(s.data, key)
-			resp = "OK"
-		} else {
-			resp = "NOTFOUND"
-		}
-	}
+	resp := s.execLocked(op, key, value)
 	s.applied[reqID] = resp
 	s.appliedOrder = append(s.appliedOrder, reqID)
 	if s.appliedLimit > 0 && len(s.appliedOrder) > s.appliedLimit {
 		s.pruneLocked(s.appliedLimit)
 	}
 	return resp
+}
+
+// execLocked executes one parsed operation. Callers hold s.mu.
+func (s *Store) execLocked(op, key, value string) string {
+	switch op {
+	case "SET":
+		s.data[key] = value
+		return "OK"
+	case "DEL":
+		if _, ok := s.data[key]; ok {
+			delete(s.data, key)
+			return "OK"
+		}
+		return "NOTFOUND"
+	default:
+		return "ERR unknown op " + op
+	}
+}
+
+// applyAuthLocked is the authenticated apply path for an already-verified
+// envelope: (client, seq) dedup through the per-client window, then
+// execution. Everything signed is recorded — even a payload that fails to
+// parse consumes its sequence number, so a garbage command cannot be
+// retried into a different outcome. Callers hold s.mu and have verified
+// the envelope's MAC.
+func (s *Store) applyAuthLocked(env wire.CommandEnvelope) string {
+	st, ok := s.clients[env.Client]
+	if !ok {
+		st = wire.NewSeqTracker[string]()
+		s.clients[env.Client] = st
+	}
+	if st.BelowHorizon(env.Seq, s.seqWindow) {
+		return RespStale // below the horizon: applied long ago
+	}
+	if resp, done := st.Entries[env.Seq]; done {
+		return resp // duplicate client retry (or a replayed proposal)
+	}
+	var resp string
+	if _, op, key, value, perr := Parse(model.Value(env.Payload)); perr != nil {
+		resp = "ERR " + perr.Error()
+	} else {
+		resp = s.execLocked(op, key, value)
+	}
+	st.Record(env.Seq, resp, s.seqWindow)
+	return resp
+}
+
+// ClientSeqLen reports how many responses are cached for the client
+// (bounded-memory tests and metrics).
+func (s *Store) ClientSeqLen(client uint32) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.clients[client]
+	if !ok {
+		return 0
+	}
+	return len(st.Entries)
+}
+
+// ClientMaxSeq reports the client's highest applied sequence number.
+func (s *Store) ClientMaxSeq(client uint32) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.clients[client]
+	if !ok {
+		return 0
+	}
+	return st.Max
+}
+
+// EachAppliedSeq visits every (client, seq) the dedup windows currently
+// track, plus each client's horizon maximum. Recovery uses it to seed the
+// SMR replay window from a restored snapshot — without the reseed, a
+// recovered node would accept replays of commands committed before its
+// checkpoint. fn runs under the store's read lock and must not call back
+// into the store.
+func (s *Store) EachAppliedSeq(fn func(client uint32, seq uint64)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for client, st := range s.clients {
+		fn(client, st.Max)
+		for seq := range st.Entries {
+			fn(client, seq)
+		}
+	}
 }
 
 // SetAppliedLimit bounds the dedup table to the n most recent requests
@@ -192,17 +369,23 @@ func (s *Store) Snapshot() map[string]string {
 	return out
 }
 
-// stateMagic versions the SnapshotState encoding.
-const stateMagic = "kvstate1"
+// stateMagic versions the SnapshotState encoding. stateMagicV2 is the
+// envelope-aware encoding carrying the per-client sequence windows of
+// authenticated mode; legacy stores keep emitting v1 byte-identically.
+const (
+	stateMagic   = "kvstate1"
+	stateMagicV2 = "kvstate2"
+)
 
 // ErrBadState rejects malformed or foreign state encodings.
 var ErrBadState = errors.New("kv: malformed state encoding")
 
 // SnapshotState implements snapshot.Snapshotter: a deterministic encoding
-// of the data map (sorted by key) and the dedup table (in apply order, the
-// same on every replica). Replicas with identical applied prefixes encode
-// byte-identical states, so snapshot digests are comparable across the
-// cluster.
+// of the data map (sorted by key) and the dedup state — the legacy
+// request-id table in apply order, plus, in authenticated mode, the
+// per-client sequence windows (clients sorted by id, seqs ascending).
+// Replicas with identical applied prefixes encode byte-identical states,
+// so snapshot digests are comparable across the cluster.
 func (s *Store) SnapshotState() []byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -212,7 +395,11 @@ func (s *Store) SnapshotState() []byte {
 	}
 	sort.Strings(keys)
 	buf := make([]byte, 0, 64)
-	buf = append(buf, stateMagic...)
+	magic := stateMagic
+	if s.verify != nil {
+		magic = stateMagicV2
+	}
+	buf = append(buf, magic...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
 	for _, k := range keys {
 		buf = appendString(buf, k)
@@ -223,15 +410,48 @@ func (s *Store) SnapshotState() []byte {
 		buf = appendString(buf, reqID)
 		buf = appendString(buf, s.applied[reqID])
 	}
+	if s.verify == nil {
+		return buf
+	}
+	clients := make([]uint32, 0, len(s.clients))
+	for c := range s.clients {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(clients)))
+	for _, c := range clients {
+		st := s.clients[c]
+		buf = binary.BigEndian.AppendUint32(buf, c)
+		buf = binary.BigEndian.AppendUint64(buf, st.Max)
+		seqs := make([]uint64, 0, len(st.Entries))
+		for seq := range st.Entries {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(seqs)))
+		for _, seq := range seqs {
+			buf = binary.BigEndian.AppendUint64(buf, seq)
+			buf = appendString(buf, st.Entries[seq])
+		}
+	}
 	return buf
 }
 
 // RestoreState implements snapshot.Snapshotter, replacing the store's
-// entire state with a decoded SnapshotState encoding. The configured
-// applied limit survives the restore and is re-enforced on the restored
-// table.
+// entire state with a decoded SnapshotState encoding (either version: v1
+// restores empty client windows). The configured applied limit and
+// authentication mode survive the restore; the limit is re-enforced on the
+// restored table.
 func (s *Store) RestoreState(data []byte) error {
-	if len(data) < len(stateMagic)+8 || string(data[:len(stateMagic)]) != stateMagic {
+	if len(data) < len(stateMagic)+8 {
+		return ErrBadState
+	}
+	v2 := false
+	switch string(data[:len(stateMagic)]) {
+	case stateMagic:
+	case stateMagicV2:
+		v2 = true
+	default:
 		return ErrBadState
 	}
 	r := data[len(stateMagic):]
@@ -273,6 +493,49 @@ func (s *Store) RestoreState(data []byte) error {
 		newApplied[reqID] = resp
 		newOrder = append(newOrder, reqID)
 	}
+	newClients := make(map[uint32]*wire.SeqTracker[string])
+	if v2 {
+		var nClients uint32
+		nClients, r, ok = readUint32(r)
+		if !ok {
+			return ErrBadState
+		}
+		for i := uint32(0); i < nClients; i++ {
+			var client, nSeqs uint32
+			var max uint64
+			if client, r, ok = readUint32(r); !ok {
+				return ErrBadState
+			}
+			if max, r, ok = readUint64(r); !ok {
+				return ErrBadState
+			}
+			if _, dup := newClients[client]; dup {
+				return ErrBadState
+			}
+			if nSeqs, r, ok = readUint32(r); !ok {
+				return ErrBadState
+			}
+			st := &wire.SeqTracker[string]{Max: max, Entries: make(map[uint64]string, nSeqs)}
+			for j := uint32(0); j < nSeqs; j++ {
+				var seq uint64
+				var resp string
+				if seq, r, ok = readUint64(r); !ok {
+					return ErrBadState
+				}
+				if resp, r, ok = readString(r); !ok {
+					return ErrBadState
+				}
+				if seq > max {
+					return ErrBadState
+				}
+				if _, dup := st.Entries[seq]; dup {
+					return ErrBadState
+				}
+				st.Entries[seq] = resp
+			}
+			newClients[client] = st
+		}
+	}
 	if len(r) != 0 {
 		return ErrBadState
 	}
@@ -281,6 +544,7 @@ func (s *Store) RestoreState(data []byte) error {
 	s.data = newData
 	s.applied = newApplied
 	s.appliedOrder = newOrder
+	s.clients = newClients
 	if s.appliedLimit > 0 {
 		s.pruneLocked(s.appliedLimit)
 	}
@@ -297,6 +561,13 @@ func readUint32(b []byte) (uint32, []byte, bool) {
 		return 0, nil, false
 	}
 	return binary.BigEndian.Uint32(b), b[4:], true
+}
+
+func readUint64(b []byte) (uint64, []byte, bool) {
+	if len(b) < 8 {
+		return 0, nil, false
+	}
+	return binary.BigEndian.Uint64(b), b[8:], true
 }
 
 func readString(b []byte) (string, []byte, bool) {

@@ -6,7 +6,9 @@ import (
 	"testing"
 	"testing/quick"
 
+	"genconsensus/internal/auth"
 	"genconsensus/internal/model"
+	"genconsensus/internal/wire"
 )
 
 func TestCommandFormat(t *testing.T) {
@@ -251,5 +253,163 @@ func TestSetGetProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- Authenticated mode ------------------------------------------------------
+
+func authStore(window int) (*Store, *auth.ClientSigner) {
+	kr := auth.NewClientKeyring(11, 4)
+	s := NewStore()
+	s.EnableClientAuth(kr, window)
+	return s, auth.NewClientSigner(11, 1)
+}
+
+func mustSigned(t *testing.T, signer *auth.ClientSigner, seq uint64, op, key, value string) model.Value {
+	t.Helper()
+	cmd, err := SignedCommand(signer, seq, op, key, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+func TestAuthApplyAndDedup(t *testing.T) {
+	s, signer := authStore(16)
+	cmd := mustSigned(t, signer, 1, "SET", "color", "green")
+	if resp := s.Apply(cmd); resp != "OK" {
+		t.Fatalf("Apply = %q", resp)
+	}
+	if v, ok := s.Get("color"); !ok || v != "green" {
+		t.Fatalf("color = %q (%v)", v, ok)
+	}
+	// Retry of the same (client, seq): cached response, no re-execution.
+	if resp := s.Apply(cmd); resp != "OK" {
+		t.Fatalf("retry = %q", resp)
+	}
+	del := mustSigned(t, signer, 2, "DEL", "color", "")
+	if resp := s.Apply(del); resp != "OK" {
+		t.Fatalf("DEL = %q", resp)
+	}
+	if resp := s.Apply(del); resp != "OK" {
+		t.Fatalf("DEL retry = %q (must replay the cached response, not NOTFOUND)", resp)
+	}
+	// Legacy raw commands are refused outright in authenticated mode.
+	if resp := s.Apply(Command("req-9", "SET", "x", "y")); resp != RespUnauthenticated {
+		t.Fatalf("raw command = %q", resp)
+	}
+	// Tampered MAC is refused and consumes nothing.
+	env, err := wire.DecodeCommand(string(mustSigned(t, signer, 3, "SET", "a", "b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.MAC[3] ^= 1
+	bad, err := wire.EncodeCommand(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.Apply(model.Value(bad)); resp != RespUnauthenticated {
+		t.Fatalf("tampered = %q", resp)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("tampered command mutated state")
+	}
+	// The untampered original still applies: its seq was not burned.
+	if resp := s.Apply(mustSigned(t, signer, 3, "SET", "a", "b")); resp != "OK" {
+		t.Fatalf("original after tamper = %q", resp)
+	}
+}
+
+// TestAuthWindowBounded is the hostile-client memory bound: a client
+// churning unique sequence numbers keeps exactly one window of cached
+// responses, evicted oldest-first and deterministically, and sequences
+// below the horizon answer RespStale instead of re-executing.
+func TestAuthWindowBounded(t *testing.T) {
+	const window = 32
+	s, signer := authStore(window)
+	for seq := uint64(1); seq <= 10*window; seq++ {
+		key := fmt.Sprintf("wk-%d", seq)
+		if resp := s.Apply(mustSigned(t, signer, seq, "SET", key, "v")); resp != "OK" {
+			t.Fatalf("seq %d: %q", seq, resp)
+		}
+	}
+	if n := s.ClientSeqLen(1); n > window+1 {
+		t.Fatalf("client window holds %d responses, want <= %d", n, window+1)
+	}
+	if max := s.ClientMaxSeq(1); max != 10*window {
+		t.Fatalf("max seq %d, want %d", max, 10*window)
+	}
+	// A below-horizon replay must not re-execute (the key was deleted in
+	// the meantime — re-execution would resurrect it).
+	victim := mustSigned(t, signer, 1, "SET", "wk-1", "v")
+	if resp := s.Apply(mustSigned(t, signer, 10*window+1, "DEL", "wk-1", "")); resp != "OK" {
+		t.Fatalf("DEL: %q", resp)
+	}
+	if resp := s.Apply(victim); resp != RespStale {
+		t.Fatalf("below-horizon replay = %q, want %q", resp, RespStale)
+	}
+	if _, ok := s.Get("wk-1"); ok {
+		t.Fatal("below-horizon replay resurrected a deleted key")
+	}
+}
+
+// TestAuthSnapshotRoundTrip: the v2 (envelope-aware) state encoding carries
+// the per-client windows, round-trips exactly, and keeps at-most-once
+// across a restore; two stores applying the same sequence stay
+// byte-identical (digest comparability).
+func TestAuthSnapshotRoundTrip(t *testing.T) {
+	s1, signer := authStore(16)
+	s2, _ := authStore(16)
+	other := auth.NewClientSigner(11, 3)
+	var cmds []model.Value
+	for seq := uint64(1); seq <= 40; seq++ {
+		cmds = append(cmds, mustSigned(t, signer, seq, "SET", fmt.Sprintf("k-%d", seq%7), fmt.Sprintf("v-%d", seq)))
+		cmds = append(cmds, mustSigned(t, other, seq, "SET", fmt.Sprintf("o-%d", seq%5), "x"))
+	}
+	for _, cmd := range cmds {
+		s1.Apply(cmd)
+		s2.Apply(cmd)
+	}
+	enc1, enc2 := s1.SnapshotState(), s2.SnapshotState()
+	if string(enc1) != string(enc2) {
+		t.Fatal("identical apply sequences encoded differently")
+	}
+	restored, _ := authStore(16)
+	if err := restored.RestoreState(enc1); err != nil {
+		t.Fatal(err)
+	}
+	if string(restored.SnapshotState()) != string(enc1) {
+		t.Fatal("restore is not the identity")
+	}
+	// At-most-once survives the restore: a replay of an applied command is
+	// answered from the restored window without re-execution.
+	if resp := restored.Apply(cmds[len(cmds)-2]); resp != "OK" {
+		t.Fatalf("replay after restore = %q", resp)
+	}
+	if restored.ClientMaxSeq(1) != 40 || restored.ClientMaxSeq(3) != 40 {
+		t.Fatal("client windows lost in restore")
+	}
+	// Truncated v2 encodings are rejected.
+	if err := restored.RestoreState(enc1[:len(enc1)-3]); err == nil {
+		t.Fatal("truncated v2 state accepted")
+	}
+}
+
+// TestLegacySnapshotStillV1: stores without client auth keep the v1 magic
+// byte-for-byte, so mixed-version clusters in legacy mode stay
+// digest-comparable with pre-envelope snapshots.
+func TestLegacySnapshotStillV1(t *testing.T) {
+	s := NewStore()
+	s.Apply(Command("r1", "SET", "k", "v"))
+	enc := s.SnapshotState()
+	if string(enc[:8]) != "kvstate1" {
+		t.Fatalf("legacy magic = %q", enc[:8])
+	}
+	s2 := NewStore()
+	if err := s2.RestoreState(enc); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Get("k"); !ok || v != "v" {
+		t.Fatal("legacy restore lost data")
 	}
 }

@@ -18,14 +18,17 @@ package node
 
 import (
 	"bufio"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"genconsensus/internal/auth"
 	"genconsensus/internal/core"
 	"genconsensus/internal/flv"
 	"genconsensus/internal/kv"
@@ -34,6 +37,7 @@ import (
 	"genconsensus/internal/smr"
 	"genconsensus/internal/snapshot"
 	"genconsensus/internal/transport"
+	"genconsensus/internal/wire"
 )
 
 // Config assembles a replica server.
@@ -57,6 +61,20 @@ type Config struct {
 	ClientAddr string
 	// AuthSeed derives the cluster's pairwise MAC keys.
 	AuthSeed int64
+	// ClientAuth enables the authenticated command lifecycle: clients MAC
+	// every command (ACMD protocol verb), the node verifies provenance at
+	// ingress, the chooser weighs only authenticated commands, and the
+	// state machine dedups on (client, seq). Plain CMD writes are refused.
+	ClientAuth bool
+	// NumClients provisions the client keyring (default 16). Commands
+	// claiming ids outside it fail verification.
+	NumClients int
+	// ClientSeed derives per-client command keys (default AuthSeed). All
+	// nodes and clients must agree.
+	ClientSeed int64
+	// ClientWindow bounds each client's replay/dedup horizon (default
+	// smr.DefaultSeqWindow).
+	ClientWindow int
 	// MaxBatch bounds commands per consensus instance (default
 	// smr.MaxBatchSize).
 	MaxBatch int
@@ -101,6 +119,8 @@ type Node struct {
 	mgr      *smr.SnapshotManager // nil when snapshots are disabled
 	commits  *smr.CommitQueue
 	clientLn net.Listener
+	authCtx  *smr.AuthContext // nil in legacy mode
+	keyring  *auth.ClientKeyring
 
 	mu   sync.Mutex // guards next
 	next uint64
@@ -147,12 +167,30 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.NumClients <= 0 {
+		cfg.NumClients = 16
+	}
+	if cfg.ClientSeed == 0 {
+		cfg.ClientSeed = cfg.AuthSeed
+	}
+
+	// Authenticated command lifecycle: one AuthContext serves ingress
+	// verification, the provenance-checked chooser and the commit-side
+	// replay window.
+	var authCtx *smr.AuthContext
+	var keyring *auth.ClientKeyring
+	chooser := smr.CommandChooser{}
+	if cfg.ClientAuth {
+		keyring = auth.NewClientKeyring(cfg.ClientSeed, cfg.NumClients)
+		authCtx = smr.NewAuthContext(keyring, cfg.ClientWindow)
+		chooser = smr.CommandChooser{Auth: authCtx}
+	}
 
 	params := core.Params{
 		N: cfg.N, B: cfg.B, F: cfg.F, TD: cfg.TD,
 		Flag:       model.FlagPhase,
 		Selector:   selector.NewAll(cfg.N),
-		Chooser:    smr.CommandChooser{},
+		Chooser:    chooser,
 		UseHistory: true,
 	}
 	if cfg.F > 0 {
@@ -168,20 +206,25 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 	// installs the newest checkpoint (at most one interval behind the
 	// head) and bridges the rest from cached decisions. Never below the
 	// transport's own default — with snapshots disabled the cache is the
-	// only catch-up mechanism left.
+	// only catch-up mechanism left. The byte budget is sized for the same
+	// guarantee at the worst case (every cached decision a maximum-size
+	// batch): the transport's own 4 MiB default would silently evict
+	// decisions a laggard still needs under large snapshot intervals,
+	// stranding it behind the head until the next checkpoint forms.
 	decisionCache := int(cfg.SnapshotInterval) + 64
 	if decisionCache < 256 {
 		decisionCache = 256
 	}
 	tn, err := transport.Listen(transport.Config{
 		ID: cfg.ID, N: cfg.N,
-		Peers:          cfg.Peers,
-		ListenAddr:     cfg.ListenAddr,
-		AuthSeed:       cfg.AuthSeed,
-		BaseTimeout:    cfg.BaseTimeout,
-		TimeoutGrowth:  cfg.TimeoutGrowth,
-		SnapChunkBytes: cfg.SnapChunkBytes,
-		DecisionCache:  decisionCache,
+		Peers:              cfg.Peers,
+		ListenAddr:         cfg.ListenAddr,
+		AuthSeed:           cfg.AuthSeed,
+		BaseTimeout:        cfg.BaseTimeout,
+		TimeoutGrowth:      cfg.TimeoutGrowth,
+		SnapChunkBytes:     cfg.SnapChunkBytes,
+		DecisionCache:      decisionCache,
+		DecisionCacheBytes: decisionCache * smr.MaxBatchBytes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("node: %w", err)
@@ -189,7 +232,14 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 
 	replica := smr.NewReplica(cfg.ID, sm)
 	replica.SetMaxBatch(cfg.MaxBatch)
-	n := &Node{cfg: cfg, params: params, tn: tn, replica: replica, sm: sm, next: 1}
+	if authCtx != nil {
+		replica.SetCommandAuth(authCtx)
+		if store, ok := sm.(*kv.Store); ok {
+			store.EnableClientAuth(keyring, cfg.ClientWindow)
+		}
+	}
+	n := &Node{cfg: cfg, params: params, tn: tn, replica: replica, sm: sm,
+		authCtx: authCtx, keyring: keyring, next: 1}
 	if cfg.Adaptive {
 		n.ctrl = smr.NewAdaptiveBatch(smr.AdaptiveConfig{
 			MaxBatch: cfg.MaxBatch,
@@ -251,11 +301,34 @@ func (n *Node) ClientAddr() string {
 // Replica exposes the SMR bookkeeping (tests, metrics).
 func (n *Node) Replica() *smr.Replica { return n.replica }
 
+// AuthContext exposes the command-authentication context (nil in legacy
+// mode).
+func (n *Node) AuthContext() *smr.AuthContext { return n.authCtx }
+
 // Manager exposes the snapshot manager (nil when snapshots are disabled).
 func (n *Node) Manager() *smr.SnapshotManager { return n.mgr }
 
 // Submit queues a client command directly (in-process clients).
 func (n *Node) Submit(cmd model.Value) { n.replica.Submit(cmd) }
+
+// seedReplayWindow rebuilds the SMR-layer replay window from the state
+// machine's restored dedup windows after a snapshot install. The snapshot
+// fast-forward skips Replica.Commit for the instances it covers, so
+// without the reseed a recovered node's ingress and chooser would treat
+// replays of pre-checkpoint committed commands as fresh — at-most-once
+// would survive only at apply time, and the replayed identity could be
+// decided into the log a second time.
+func (n *Node) seedReplayWindow() {
+	if n.authCtx == nil {
+		return
+	}
+	store, ok := n.sm.(*kv.Store)
+	if !ok {
+		return
+	}
+	window := n.authCtx.Window()
+	store.EachAppliedSeq(window.Record)
+}
 
 // otherPeers lists every cluster member but this one.
 func (n *Node) otherPeers() []model.PID {
@@ -291,6 +364,7 @@ func (n *Node) Start() {
 				n.cfg.Logf("node %d: installing recovery snapshot: %v", n.cfg.ID, err)
 				break
 			}
+			n.seedReplayWindow()
 			first = snap.LastInstance + 1
 			n.tn.ReleaseInstance(snap.LastInstance)
 			n.cfg.Logf("node %d: recovered at instance %d (log index %d)",
@@ -502,7 +576,11 @@ func (n *Node) catchUp() {
 		return // not behind after all (instances are live, just slow)
 	}
 	installed, err := n.commits.InstallSnapshot(snap.LastInstance+1, func() error {
-		return n.mgr.Install(snap)
+		if err := n.mgr.Install(snap); err != nil {
+			return err
+		}
+		n.seedReplayWindow()
+		return nil
 	})
 	if err != nil {
 		n.cfg.Logf("node %d: catch-up install: %v", n.cfg.ID, err)
@@ -518,10 +596,19 @@ func (n *Node) catchUp() {
 
 // serveClients accepts line-oriented kv clients:
 //
-//	CMD <reqID> SET <key> <value>   → "QUEUED"
-//	CMD <reqID> DEL <key>           → "QUEUED"
-//	GET <key>                       → value or "NOTFOUND"
-//	LOGLEN                          → decided-log length (global positions)
+//	CMD <reqID> SET <key> <value>            → "QUEUED"
+//	CMD <reqID> DEL <key>                    → "QUEUED"
+//	ACMD <client> <seq> <mac-hex> SET <k> <v> → "QUEUED" (authenticated mode)
+//	ACMD <client> <seq> <mac-hex> DEL <k>    → "QUEUED" (authenticated mode)
+//	GET <key>                                → value or "NOTFOUND"
+//	LOGLEN                                   → decided-log length (global positions)
+//	ASEQ <client>                            → client's highest applied seq (authenticated mode)
+//
+// In authenticated mode plain CMD writes are refused (a signed cluster
+// accepts no anonymous commands) and ACMD lines are verified at ingress:
+// the node rebuilds the canonical payload from the fields, checks the
+// client MAC against the keyring and bounces replayed sequence numbers
+// before anything reaches the pending queue.
 func (n *Node) serveClients() {
 	defer n.wg.Done()
 	store := n.sm.(*kv.Store)
@@ -552,6 +639,8 @@ func (n *Node) handleClient(conn net.Conn, store *kv.Store) {
 		switch strings.ToUpper(fields[0]) {
 		case "CMD":
 			resp = n.handleCmd(fields[1:])
+		case "ACMD":
+			resp = n.handleAuthCmd(fields[1:])
 		case "GET":
 			if len(fields) != 2 {
 				resp = "ERR usage: GET <key>"
@@ -562,6 +651,23 @@ func (n *Node) handleClient(conn net.Conn, store *kv.Store) {
 			}
 		case "LOGLEN":
 			resp = fmt.Sprintf("%d", n.replica.Log.Len())
+		case "ASEQ":
+			// Highest applied sequence for a client: signing clients derive
+			// their next sequence base from it instead of guessing (a
+			// wall-clock base would poison the id for every other
+			// convention sharing it).
+			switch {
+			case n.authCtx == nil:
+				resp = "ERR client authentication not enabled"
+			case len(fields) != 2:
+				resp = "ERR usage: ASEQ <client>"
+			default:
+				if client, err := strconv.ParseUint(fields[1], 10, 32); err != nil {
+					resp = "ERR bad client id"
+				} else {
+					resp = fmt.Sprintf("%d", store.ClientMaxSeq(uint32(client)))
+				}
+			}
 		default:
 			resp = "ERR unknown command"
 		}
@@ -570,6 +676,9 @@ func (n *Node) handleClient(conn net.Conn, store *kv.Store) {
 }
 
 func (n *Node) handleCmd(fields []string) string {
+	if n.authCtx != nil {
+		return "ERR cluster requires signed commands (use ACMD)"
+	}
 	if len(fields) < 3 {
 		return "ERR usage: CMD <reqID> SET|DEL <key> [value]"
 	}
@@ -593,5 +702,78 @@ func (n *Node) handleCmd(fields []string) string {
 		return "ERR inadmissible command"
 	}
 	n.replica.Submit(cmd)
+	return "QUEUED"
+}
+
+// handleAuthCmd verifies and queues one signed write: the client sent its
+// id, sequence number, hex MAC and the operation fields; the node rebuilds
+// the canonical payload (kv.AuthPayload — signer and verifier derive the
+// request id from (client, seq), so the MAC'd bytes are reproducible) and
+// re-encodes the envelope the SMR layer will carry.
+func (n *Node) handleAuthCmd(fields []string) string {
+	if n.authCtx == nil {
+		return "ERR client authentication not enabled"
+	}
+	if len(fields) < 5 {
+		return "ERR usage: ACMD <client> <seq> <mac-hex> SET|DEL <key> [value]"
+	}
+	client, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return "ERR bad client id"
+	}
+	seq, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return "ERR bad sequence number"
+	}
+	mac, err := hex.DecodeString(fields[2])
+	if err != nil || len(mac) != wire.CommandMACSize {
+		return "ERR bad MAC encoding"
+	}
+	op := strings.ToUpper(fields[3])
+	var key, value string
+	switch op {
+	case "SET":
+		if len(fields) != 6 {
+			return "ERR usage: ACMD <client> <seq> <mac-hex> SET <key> <value>"
+		}
+		key, value = fields[4], fields[5]
+	case "DEL":
+		if len(fields) != 5 {
+			return "ERR usage: ACMD <client> <seq> <mac-hex> DEL <key>"
+		}
+		key = fields[4]
+	default:
+		return "ERR unknown op " + op
+	}
+	payload := kv.AuthPayload(uint32(client), seq, op, key, value)
+	enc, err := wire.EncodeCommand(wire.CommandEnvelope{
+		Client:  uint32(client),
+		Seq:     seq,
+		Payload: string(payload),
+		MAC:     mac,
+	})
+	if err != nil {
+		return "ERR malformed command"
+	}
+	cmd := model.Value(enc)
+	if !smr.Admissible(cmd) {
+		return "ERR inadmissible command"
+	}
+	if !n.authCtx.VerifyValue(cmd) {
+		return "ERR unauthenticated command"
+	}
+	if n.authCtx.Replayed(cmd) {
+		return "ERR replayed sequence"
+	}
+	if !n.replica.Submit(cmd) {
+		// The pre-checks passed, so the drop means either the identity is
+		// claimed by a different queued payload (an equivocating client
+		// double-signing one seq) or the command committed in the race
+		// since the pre-check.
+		if n.authCtx.Replayed(cmd) {
+			return "ERR replayed sequence"
+		}
+		return "ERR duplicate identity"
+	}
 	return "QUEUED"
 }

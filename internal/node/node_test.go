@@ -2,14 +2,22 @@ package node
 
 import (
 	"bufio"
+	"encoding/hex"
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"genconsensus/internal/adversary"
+	"genconsensus/internal/auth"
+	"genconsensus/internal/core"
 	"genconsensus/internal/kv"
 	"genconsensus/internal/model"
+	"genconsensus/internal/smr"
+	"genconsensus/internal/transport"
+	"genconsensus/internal/wire"
 )
 
 // startNodes builds and starts an n-member cluster of in-process replica
@@ -375,5 +383,309 @@ func TestKVNodeLaggardCatchUp(t *testing.T) {
 	}
 	if got := restarted.sm.(*kv.Store).SnapshotState(); string(got) != string(nodes[0].sm.(*kv.Store).SnapshotState()) {
 		t.Fatal("caught-up state differs from a survivor's")
+	}
+}
+
+// TestKVNodeAuthenticatedE2E is the TCP half of the fabrication acceptance
+// criterion: a 4-node authenticated cluster (n=4, b=1) in which member 3 is
+// a real Byzantine proposer — a raw transport endpoint running the
+// FabricateCommands strategy over the live consensus instances — while
+// clients drive signed writes through the ACMD protocol. Every honest
+// node's decided log must contain only authenticated commands: nothing
+// fabricated, nothing unauthenticated, no forged key in any store. Forged
+// and anonymous client writes must bounce at ingress.
+func TestKVNodeAuthenticatedE2E(t *testing.T) {
+	const (
+		n        = 4
+		seed     = int64(42)
+		numCli   = 4
+		byzantin = model.PID(3)
+	)
+	honest := make([]*Node, 3)
+	peers := make(map[model.PID]string, n)
+	for i := 0; i < 3; i++ {
+		cfg := Config{
+			ID: model.PID(i), N: n, B: 1,
+			ListenAddr:  "127.0.0.1:0",
+			ClientAddr:  "127.0.0.1:0",
+			AuthSeed:    seed,
+			ClientAuth:  true,
+			NumClients:  numCli,
+			MaxBatch:    8,
+			Pipeline:    2,
+			BaseTimeout: 40 * time.Millisecond,
+		}
+		if testing.Verbose() {
+			cfg.Logf = t.Logf
+		}
+		nd, err := New(cfg, kv.NewStore())
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		honest[i] = nd
+		peers[model.PID(i)] = nd.Addr()
+	}
+	t.Cleanup(func() {
+		for _, nd := range honest {
+			nd.Stop()
+		}
+	})
+
+	// Member 3: a bare transport endpoint with valid channel keys (the
+	// Byzantine member is a legitimate cluster member — only its behaviour
+	// is hostile) driving fabricated command batches into live instances.
+	tn, err := transport.Listen(transport.Config{
+		ID: byzantin, N: n,
+		ListenAddr:  "127.0.0.1:0",
+		AuthSeed:    seed,
+		BaseTimeout: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tn.Close() })
+	peers[byzantin] = tn.Addr()
+
+	for _, nd := range honest {
+		nd.SetPeers(peers)
+	}
+	tn.SetPeers(peers)
+	for _, nd := range honest {
+		nd.Start()
+	}
+
+	sched := core.Schedule{Flag: model.FlagPhase}
+	var byzWG sync.WaitGroup
+	for inst := uint64(1); inst <= 6; inst++ {
+		byzWG.Add(1)
+		go func(inst uint64) {
+			defer byzWG.Done()
+			proc := adversary.NewProc(byzantin, n, sched, int64(inst),
+				smr.FabricateCommands(inst*1000))
+			_, _ = tn.RunProc(inst, proc, 30, 0)
+		}(inst)
+	}
+	defer byzWG.Wait()
+
+	// Signed client load over the real TCP protocol (the kvctl -auth
+	// shape), pipelined to every honest replica.
+	signer := auth.NewClientSigner(seed, 1)
+	want := map[string]string{}
+	lines := make([]string, 0, 10)
+	for seq := uint64(1); seq <= 10; seq++ {
+		key, value := fmt.Sprintf("ek-%d", seq), fmt.Sprintf("ev-%d", seq)
+		want[key] = value
+		mac := hex.EncodeToString(kv.AuthMAC(signer, seq, "SET", key, value))
+		lines = append(lines, fmt.Sprintf("ACMD %d %d %s SET %s %s", signer.Client(), seq, mac, key, value))
+	}
+	for _, nd := range honest {
+		conn, err := net.Dial("tcp", nd.ClientAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprint(conn, strings.Join(lines, "\n")+"\n")
+		sc := bufio.NewScanner(conn)
+		for j := range lines {
+			if !sc.Scan() || sc.Text() != "QUEUED" {
+				t.Fatalf("signed write %d: %q", j, sc.Text())
+			}
+		}
+		conn.Close()
+	}
+
+	// Ingress rejections: anonymous CMD, forged MAC, replayed seq, unknown
+	// client.
+	conn, err := net.Dial("tcp", honest[0].ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	expect := func(line, want string) {
+		t.Helper()
+		fmt.Fprintln(conn, line)
+		if !sc.Scan() {
+			t.Fatalf("no response to %q", line)
+		}
+		if got := sc.Text(); got != want {
+			t.Errorf("%q → %q, want %q", line, got, want)
+		}
+	}
+	expect("CMD anon SET x y", "ERR cluster requires signed commands (use ACMD)")
+	badMAC := strings.Repeat("00", 32)
+	expect(fmt.Sprintf("ACMD 1 999 %s SET x y", badMAC), "ERR unauthenticated command")
+	wrongClient := hex.EncodeToString(kv.AuthMAC(signer, 998, "SET", "x", "y"))
+	expect(fmt.Sprintf("ACMD 2 998 %s SET x y", wrongClient), "ERR unauthenticated command")
+	outside := auth.NewClientSigner(seed, numCli) // id outside the keyring
+	outsideMAC := hex.EncodeToString(kv.AuthMAC(outside, 1, "SET", "x", "y"))
+	expect(fmt.Sprintf("ACMD %d 1 %s SET x y", numCli, outsideMAC), "ERR unauthenticated command")
+	// Equivocation at ingress: the same (client, seq) signed over two
+	// different payloads gets one slot, and the conflicting write is
+	// reported, not silently eaten ("duplicate identity" while the first
+	// is still queued, "replayed sequence" if it already committed).
+	signer2 := auth.NewClientSigner(seed, 2)
+	eq1 := hex.EncodeToString(kv.AuthMAC(signer2, 900, "SET", "eq-x", "v1"))
+	expect(fmt.Sprintf("ACMD 2 900 %s SET eq-x v1", eq1), "QUEUED")
+	eq2 := hex.EncodeToString(kv.AuthMAC(signer2, 900, "SET", "eq-x", "v2"))
+	fmt.Fprintf(conn, "ACMD 2 900 %s SET eq-x v2\n", eq2)
+	if !sc.Scan() {
+		t.Fatal("no response to the equivocating write")
+	}
+	if got := sc.Text(); got != "ERR duplicate identity" && got != "ERR replayed sequence" {
+		t.Fatalf("equivocating write → %q, want a rejection", got)
+	}
+
+	for i, nd := range honest {
+		nd := nd
+		waitFor(t, 30*time.Second, fmt.Sprintf("node %d to apply the signed load", i), func() bool {
+			return hasKeys(nd, want)
+		})
+	}
+	// Replay of an already-committed seq bounces at ingress.
+	replayMAC := hex.EncodeToString(kv.AuthMAC(signer, 1, "SET", "ek-1", "ev-1"))
+	waitFor(t, 10*time.Second, "replay window to absorb instance commits", func() bool {
+		fmt.Fprintln(conn, fmt.Sprintf("ACMD 1 1 %s SET ek-1 ev-1", replayMAC))
+		return sc.Scan() && sc.Text() == "ERR replayed sequence"
+	})
+	// ASEQ reports the applied horizon signing clients resume from.
+	expect("ASEQ 1", "10")
+	expect("ASEQ 0", "0")
+	// Client 2's only write was the equivocation winner (seq 900).
+	waitFor(t, 10*time.Second, "equivocation winner to apply", func() bool {
+		v, ok := honest[0].sm.(*kv.Store).Get("eq-x")
+		return ok && v == "v1"
+	})
+
+	// Provenance audit over every honest decided log: nothing fabricated,
+	// nothing anonymous, and no sign of the adversary's (client, seq)
+	// space. Honest (client, seq) duplicates are NOT asserted absent here:
+	// with pipelined dispatchers, replicas whose queues transiently
+	// diverge may legitimately re-propose a committed command (see
+	// CommitQueue's claim policy) — at-most-once is the state machine's
+	// (client, seq) dedup, which the hasKeys convergence above already
+	// exercised. The strict no-duplicate audit runs in the serial sim soak
+	// (smr.Cluster.CheckProvenance), where honest re-proposal cannot occur.
+	for i, nd := range honest {
+		_, entries := nd.Replica().Log.Retained()
+		for pos, entry := range entries {
+			if entry == smr.NoOp {
+				continue
+			}
+			if !nd.AuthContext().VerifyValue(entry) {
+				t.Fatalf("node %d log[%d]: unauthenticated entry %q", i, pos, entry)
+			}
+			env, err := wire.DecodeCommand(string(entry))
+			if err != nil {
+				t.Fatalf("node %d log[%d]: %v", i, pos, err)
+			}
+			if env.Client != signer.Client() && env.Client != signer2.Client() {
+				t.Fatalf("node %d log[%d]: command from client %d, only clients %d and %d ever signed",
+					i, pos, env.Client, signer.Client(), signer2.Client())
+			}
+		}
+		for k := range nd.sm.(*kv.Store).Snapshot() {
+			if strings.HasPrefix(k, "forged-") {
+				t.Fatalf("node %d: fabricated key %q applied", i, k)
+			}
+		}
+	}
+}
+
+// TestKVNodeAuthRecoveryReplayWindow: a recovered authenticated node must
+// reject replays of commands committed BEFORE its checkpoint. The snapshot
+// fast-forward skips Replica.Commit for covered instances, so the replay
+// window is rebuilt from the restored state machine's dedup windows
+// (seedReplayWindow) — without it the node would answer QUEUED here and
+// re-propose an already-committed identity.
+func TestKVNodeAuthRecoveryReplayWindow(t *testing.T) {
+	const n = 4
+	mutate := func(cfg *Config) {
+		cfg.ClientAddr = "127.0.0.1:0"
+		cfg.ClientAuth = true
+		cfg.MaxBatch = 4
+		cfg.Pipeline = 2
+		cfg.SnapshotInterval = 2
+		cfg.BaseTimeout = 40 * time.Millisecond
+		cfg.FetchTimeout = time.Second
+		cfg.StallTimeout = 400 * time.Millisecond
+		if testing.Verbose() {
+			cfg.Logf = t.Logf
+		}
+	}
+	nodes, peers := startNodes(t, n, mutate)
+	signer := auth.NewClientSigner(42, 1)
+
+	want := map[string]string{}
+	seq := uint64(0)
+	submitSigned := func(targets []*Node, count int) {
+		for i := 0; i < count; i++ {
+			seq++
+			key, value := fmt.Sprintf("rk-%d", seq), fmt.Sprintf("rv-%d", seq)
+			want[key] = value
+			cmd, err := kv.SignedCommand(signer, seq, "SET", key, value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			submitAll(targets, cmd)
+		}
+	}
+
+	submitSigned(nodes, 8)
+	for i, nd := range nodes {
+		nd := nd
+		waitFor(t, 30*time.Second, fmt.Sprintf("phase 1 on node %d", i), func() bool {
+			return hasKeys(nd, want)
+		})
+	}
+
+	nodes[3].Stop()
+	crashLen := nodes[3].Replica().Log.Len()
+	nodes[3] = nil
+	live := nodes[:3]
+	submitSigned(live, 8)
+	for i, nd := range live {
+		nd := nd
+		waitFor(t, 30*time.Second, fmt.Sprintf("phase 2 on node %d", i), func() bool {
+			return hasKeys(nd, want) && nd.Replica().Log.FirstIndex() > uint64(crashLen)
+		})
+	}
+
+	cfg := Config{
+		ID: model.PID(3), N: n, B: 1,
+		ListenAddr: peers[model.PID(3)],
+		AuthSeed:   42,
+		Peers:      peers,
+	}
+	mutate(&cfg)
+	restarted, err := New(cfg, kv.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[3] = restarted
+	restarted.Start()
+	waitFor(t, 30*time.Second, "node 3 to recover via snapshot", func() bool {
+		return restarted.Replica().Log.Len() > crashLen
+	})
+
+	// Replay of a pre-checkpoint committed command against the recovered
+	// node: ingress must reject it from the reseeded window, not QUEUE it.
+	conn, err := net.Dial("tcp", restarted.ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	replayMAC := hex.EncodeToString(kv.AuthMAC(signer, 1, "SET", "rk-1", "rv-1"))
+	fmt.Fprintf(conn, "ACMD 1 1 %s SET rk-1 rv-1\n", replayMAC)
+	if !sc.Scan() || sc.Text() != "ERR replayed sequence" {
+		t.Fatalf("replay at recovered node = %q, want ERR replayed sequence", sc.Text())
+	}
+	// Fresh signed writes still flow through the recovered member.
+	submitSigned(nodes, 2)
+	for i, nd := range nodes {
+		nd := nd
+		waitFor(t, 30*time.Second, fmt.Sprintf("phase 3 on node %d", i), func() bool {
+			return hasKeys(nd, want)
+		})
 	}
 }

@@ -172,3 +172,51 @@ func hasViolation(res Result, kind string) bool {
 	}
 	return false
 }
+
+// TestAttackFabricatedValueUnanimousHonest exercises the Fabricate
+// injection shell (the generic carrier of the SMR-level fabricate/replay/
+// strip-signature attacks) under the full simulator: a Byzantine proposer
+// pushes an attacker-chosen value with honest-looking metadata every round.
+// Against unanimous honest proposals the FLV function locks the honest
+// value, so the injected one must never be decided — the chooser (where
+// provenance filtering lives in the SMR layer) is never even consulted.
+func TestAttackFabricatedValueUnanimousHonest(t *testing.T) {
+	params := core.Params{
+		N: 4, B: 1, F: 0, TD: 3,
+		Flag:       model.FlagPhase,
+		FLV:        flv.NewPBFT(4, 1),
+		Selector:   selector.NewAll(4),
+		UseHistory: true,
+	}
+	inits := map[model.PID]model.Value{0: "good", 1: "good", 2: "good"}
+	injected := 0
+	e, err := New(Config{
+		Params: params,
+		Inits:  inits,
+		Byzantine: map[model.PID]adversary.Strategy{
+			3: adversary.Fabricate{
+				Label: "inject-forged",
+				Next: func(ctx *adversary.Ctx, r model.Round) model.Value {
+					injected++
+					return "forged-value"
+				},
+			},
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if !res.AllDecided || len(res.Violations) > 0 {
+		t.Fatalf("decided=%v violations=%v", res.AllDecided, res.Violations)
+	}
+	if injected == 0 {
+		t.Fatal("the fabricator never ran")
+	}
+	for p, v := range res.Decisions {
+		if v != "good" {
+			t.Fatalf("process %d decided %q, want the honest value", p, v)
+		}
+	}
+}

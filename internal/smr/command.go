@@ -1,0 +1,371 @@
+package smr
+
+import (
+	"fmt"
+	"sync"
+
+	"genconsensus/internal/adversary"
+	"genconsensus/internal/model"
+	"genconsensus/internal/wire"
+)
+
+// Authenticated command envelopes. In authenticated mode every client
+// command is a wire.CommandEnvelope — (client, seq, payload) under a
+// client MAC — and provenance is enforced at three layers:
+//
+//   - Ingress: Replica.Submit admits only envelopes that verify and whose
+//     (client, seq) has not already committed (replay at the door).
+//   - Choice: CommandChooser weighs only verified, non-replayed commands,
+//     so a Byzantine proposer's fabricated or replayed batches weigh zero
+//     and can never dominate honest proposals.
+//   - Apply: the state machine re-verifies and deduplicates on
+//     (client, seq) — the last line of defence should a forged value ever
+//     be locked past the chooser.
+//
+// AuthContext is the shared machinery: a verifier (typically an
+// auth.ClientKeyring), a bounded cache of verification results (the same
+// envelope bytes are judged at ingress, in every chooser evaluation and at
+// apply, and MACs are bit-stable — caching turns repeat verification into
+// a map hit), and the committed-(client, seq) replay window.
+
+// CommandAuth verifies client command MACs. auth.ClientKeyring implements
+// it; the indirection keeps smr free of a crypto dependency and lets tests
+// substitute pathological verifiers.
+type CommandAuth interface {
+	VerifyCommand(client uint32, seq uint64, payload, mac []byte) bool
+}
+
+// verifyCacheLimit and verifyCacheBytes bound the AuthContext verification
+// cache by entries AND by key bytes: keys are attacker-supplied envelope
+// values (up to ~30 KiB each, and failed verdicts are cached too — the
+// chooser re-judges Byzantine votes every evaluation), so an entry bound
+// alone would let hostile distinct values pin entries × max-payload of
+// memory. Eviction is arbitrary (map order): the cache is a pure
+// accelerator and correctness never depends on a hit.
+const (
+	verifyCacheLimit = 8192
+	verifyCacheBytes = 4 << 20
+)
+
+// cmdIdent is a cached verification verdict for one envelope value.
+type cmdIdent struct {
+	client uint32
+	seq    uint64
+	ok     bool
+}
+
+// AuthContext is one deployment's command-authentication state. It is safe
+// for concurrent use: client handlers, pipelined chooser evaluations and
+// the commit path all consult it.
+type AuthContext struct {
+	auth CommandAuth
+
+	mu         sync.Mutex
+	cache      map[model.Value]cmdIdent
+	cacheBytes int // sum of cached key lengths
+	window     *ClientWindow
+}
+
+// NewAuthContext builds a context over the verifier. window bounds the
+// per-client replay horizon (see NewClientWindow); windowSize <= 0 picks
+// DefaultSeqWindow.
+func NewAuthContext(auth CommandAuth, windowSize int) *AuthContext {
+	return &AuthContext{
+		auth:   auth,
+		cache:  make(map[model.Value]cmdIdent),
+		window: NewClientWindow(windowSize),
+	}
+}
+
+// Window exposes the replay window (tests, metrics).
+func (a *AuthContext) Window() *ClientWindow { return a.window }
+
+// identify decodes and verifies one value as a command envelope, caching
+// the verdict by the full value bytes (a MAC verdict is a pure function of
+// them).
+func (a *AuthContext) identify(v model.Value) cmdIdent {
+	a.mu.Lock()
+	id, ok := a.cache[v]
+	a.mu.Unlock()
+	if ok {
+		return id
+	}
+	env, err := wire.DecodeCommand(string(v))
+	if err == nil && a.auth.VerifyCommand(env.Client, env.Seq, []byte(env.Payload), env.MAC) {
+		id = cmdIdent{client: env.Client, seq: env.Seq, ok: true}
+	}
+	a.mu.Lock()
+	// A racing miss may have inserted v already; re-adding its bytes would
+	// inflate the accounting forever (eviction subtracts once per delete).
+	if _, raced := a.cache[v]; !raced {
+		for len(a.cache) > 0 &&
+			(len(a.cache) >= verifyCacheLimit || a.cacheBytes+len(v) > verifyCacheBytes) {
+			for k := range a.cache {
+				delete(a.cache, k)
+				a.cacheBytes -= len(k)
+				break
+			}
+		}
+		a.cache[v] = id
+		a.cacheBytes += len(v)
+	}
+	a.mu.Unlock()
+	return id
+}
+
+// VerifyValue reports whether v is a well-formed envelope with a valid MAC.
+func (a *AuthContext) VerifyValue(v model.Value) bool {
+	return a.identify(v).ok
+}
+
+// Replayed reports whether v's (client, seq) has already committed. Values
+// that fail verification report false — they are rejected as fabricated,
+// not as replays.
+func (a *AuthContext) Replayed(v model.Value) bool {
+	id := a.identify(v)
+	return id.ok && a.window.Seen(id.client, id.seq)
+}
+
+// RecordCommitted marks a committed command's (client, seq) in the replay
+// window. Non-envelope values (NoOp, legacy commands) are ignored.
+func (a *AuthContext) RecordCommitted(v model.Value) {
+	if id := a.identify(v); id.ok {
+		a.window.Record(id.client, id.seq)
+	}
+}
+
+// authWeight is the authenticated counterpart of BatchWeight: the number of
+// verified, non-replayed commands v would commit. One fabricated entry
+// (bad MAC, truncated envelope, unknown client, stripped signature) zeroes
+// the whole batch, as does one (client, seq) identity appearing twice under
+// different payload bytes (an equivocating client's double-signed seq) —
+// an honest proposer can never build either, since Submit verifies at
+// ingress and admits each identity once, so such a batch is Byzantine by
+// construction. Replayed entries merely don't count: honest replicas do
+// transiently re-propose committed commands when queues diverge (see
+// CommitQueue), and zeroing their batches for it would starve the queue.
+func authWeight(v model.Value, ax *AuthContext) int {
+	if v == model.NoValue || v == NoOp {
+		return 0
+	}
+	if IsBatch(v) {
+		cmds, err := DecodeBatch(v)
+		if err != nil {
+			return 0
+		}
+		w := 0
+		idents := make(map[[2]uint64]struct{}, len(cmds))
+		for _, cmd := range cmds {
+			id := ax.identify(cmd)
+			if !id.ok {
+				return 0
+			}
+			ident := [2]uint64{uint64(id.client), id.seq}
+			if _, dup := idents[ident]; dup {
+				return 0
+			}
+			idents[ident] = struct{}{}
+			if ax.window.Seen(id.client, id.seq) {
+				continue
+			}
+			w++
+		}
+		return w
+	}
+	id := ax.identify(v)
+	if !id.ok || ax.window.Seen(id.client, id.seq) {
+		return 0
+	}
+	return 1
+}
+
+// DefaultSeqWindow is the per-client replay horizon: how many sequence
+// numbers below a client's highest committed seq are tracked exactly.
+// Anything at or below max-window is assumed committed (replay). Aliased
+// from wire so the replay filter and the state machine's dedup window
+// (kv.DefaultSeqWindow) share one source of truth.
+const DefaultSeqWindow = wire.DefaultSeqWindow
+
+// ClientWindow tracks committed (client, seq) pairs with bounded memory:
+// per client, a wire.SeqTracker of the committed seqs within the window
+// below the highest one. Out-of-order commits inside the window are
+// handled exactly; seqs that fall off the bottom are assumed committed.
+// Memory is O(clients × window), and the client space is bounded by the
+// keyring (unknown clients never verify, so never reach Record).
+type ClientWindow struct {
+	mu      sync.Mutex
+	window  uint64
+	clients map[uint32]*wire.SeqTracker[struct{}]
+}
+
+// NewClientWindow builds a window with the given horizon (<= 0 picks
+// DefaultSeqWindow).
+func NewClientWindow(window int) *ClientWindow {
+	if window <= 0 {
+		window = DefaultSeqWindow
+	}
+	return &ClientWindow{
+		window:  uint64(window),
+		clients: make(map[uint32]*wire.SeqTracker[struct{}]),
+	}
+}
+
+// Seen reports whether (client, seq) has committed (exactly, within the
+// window; assumed, below it).
+func (w *ClientWindow) Seen(client uint32, seq uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, ok := w.clients[client]
+	if !ok {
+		return false
+	}
+	if st.BelowHorizon(seq, w.window) {
+		return true
+	}
+	_, committed := st.Entries[seq]
+	return committed
+}
+
+// Record marks (client, seq) committed, advancing the client's horizon and
+// evicting seqs that fall below it.
+func (w *ClientWindow) Record(client uint32, seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, ok := w.clients[client]
+	if !ok {
+		st = wire.NewSeqTracker[struct{}]()
+		w.clients[client] = st
+	}
+	st.Record(seq, struct{}{}, w.window)
+}
+
+// TrackedSeqs reports how many seqs are tracked exactly for the client
+// (bounded-memory tests).
+func (w *ClientWindow) TrackedSeqs(client uint32) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, ok := w.clients[client]
+	if !ok {
+		return 0
+	}
+	return len(st.Entries)
+}
+
+// --- Byzantine command-injection strategies ---------------------------------
+//
+// These live in smr rather than internal/adversary because forging
+// convincing batches needs the batch codec (adversary cannot import smr —
+// smr imports it). Each wraps the generic adversary.Fabricate shell, which
+// supplies honest-looking round metadata around an attacker-chosen vote.
+
+// FabricateCommands is a Byzantine proposer pushing batches of commands no
+// client ever issued: well-formed envelopes under invented clients with
+// garbage MACs. Structure-only validation accepts them; provenance
+// verification must not.
+func FabricateCommands(start uint64) adversary.Strategy {
+	counter := start
+	return adversary.Fabricate{
+		Label: "fabricate-commands",
+		Next: func(ctx *adversary.Ctx, r model.Round) model.Value {
+			cmds := make([]model.Value, 0, 4)
+			for i := 0; i < 4; i++ {
+				counter++
+				mac := make([]byte, wire.CommandMACSize)
+				ctx.Rng.Read(mac)
+				enc, err := wire.EncodeCommand(wire.CommandEnvelope{
+					Client:  uint32(ctx.Rng.Intn(1 << 16)),
+					Seq:     counter,
+					Payload: fmt.Sprintf("fab-%d|SET|forged-key-%d|forged-%d", counter, counter, counter),
+					MAC:     mac,
+				})
+				if err != nil {
+					continue
+				}
+				cmds = append(cmds, model.Value(enc))
+			}
+			batch, err := EncodeBatch(cmds)
+			if err != nil {
+				return cmds[0]
+			}
+			return batch
+		},
+	}
+}
+
+// ReplayCommands is a Byzantine proposer re-proposing genuinely signed
+// commands it captured earlier (the pool — e.g. the previously committed
+// log). The MACs verify; only the replay window can reject them.
+func ReplayCommands(pool []model.Value) adversary.Strategy {
+	captured := append([]model.Value(nil), pool...)
+	return adversary.Fabricate{
+		Label: "replay-commands",
+		Next: func(ctx *adversary.Ctx, r model.Round) model.Value {
+			if len(captured) == 0 {
+				return model.Value("replay-empty")
+			}
+			k := ctx.Rng.Intn(len(captured)) + 1
+			if k > MaxBatchSize {
+				k = MaxBatchSize
+			}
+			start := ctx.Rng.Intn(len(captured))
+			cmds := make([]model.Value, 0, k)
+			seen := make(map[model.Value]bool, k)
+			for i := 0; i < k; i++ {
+				cmd := captured[(start+i)%len(captured)]
+				if seen[cmd] {
+					continue
+				}
+				seen[cmd] = true
+				cmds = append(cmds, cmd)
+			}
+			batch, err := EncodeBatch(cmds)
+			if err != nil {
+				return cmds[0]
+			}
+			return batch
+		},
+	}
+}
+
+// StripSignatures is a Byzantine proposer submitting the raw application
+// payloads of real commands with their envelopes removed — the
+// legacy-downgrade attack. In authenticated mode a bare payload has no
+// provenance and must weigh zero.
+func StripSignatures(payloads []model.Value) adversary.Strategy {
+	stripped := make([]model.Value, 0, len(payloads))
+	for _, p := range payloads {
+		if env, err := wire.DecodeCommand(string(p)); err == nil {
+			stripped = append(stripped, model.Value(env.Payload))
+		} else {
+			stripped = append(stripped, p)
+		}
+	}
+	return adversary.Fabricate{
+		Label: "strip-signatures",
+		Next: func(ctx *adversary.Ctx, r model.Round) model.Value {
+			if len(stripped) == 0 {
+				return model.Value("stripped-empty")
+			}
+			k := ctx.Rng.Intn(8) + 1
+			start := ctx.Rng.Intn(len(stripped))
+			cmds := make([]model.Value, 0, k)
+			seen := make(map[model.Value]bool, k)
+			for i := 0; i < k; i++ {
+				cmd := stripped[(start+i)%len(stripped)]
+				if seen[cmd] || cmd == model.NoValue || cmd == NoOp || IsBatch(cmd) {
+					continue
+				}
+				seen[cmd] = true
+				cmds = append(cmds, cmd)
+			}
+			if len(cmds) == 0 {
+				return model.Value("stripped-empty")
+			}
+			batch, err := EncodeBatch(cmds)
+			if err != nil {
+				return cmds[0]
+			}
+			return batch
+		},
+	}
+}

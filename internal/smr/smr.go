@@ -73,6 +73,46 @@
 //     b+1-verified cached decisions (transport.FetchVerifiedDecision), so
 //     a laggard converges even when no new checkpoint is coming.
 //
+// # Authenticated command lifecycle
+//
+// Structure-only validation leaves one Byzantine lever: a proposer can fill
+// syntactically perfect batches with commands no client ever issued, and
+// the cluster will happily burn agreement rounds, log space, snapshot bytes
+// and state-transfer bandwidth on them. Authenticated mode closes it by
+// making provenance part of the command representation. A command becomes a
+// wire.CommandEnvelope — client id, per-client sequence number, application
+// payload, and a MAC over all three under the client's key
+// (auth.ClientKeyring) — and the envelope's encoded bytes ARE the value the
+// whole stack carries: queued, batched, voted, decided, logged and applied
+// without re-encoding.
+//
+// The lifecycle, layer by layer:
+//
+//   - Sign: the client (cmd/kvctl, or any holder of an auth.ClientSigner)
+//     MACs (client, seq, payload) and submits the encoded envelope.
+//   - Ingress: Replica.Submit (and the node's client protocol) verifies
+//     the MAC and rejects replayed sequence numbers before anything is
+//     queued — fabricated load never reaches a proposal.
+//   - Choice: CommandChooser weighs a vote by its verified, non-replayed
+//     commands (authWeight). A batch containing even one fabricated entry
+//     weighs zero — an honest proposer cannot produce one — while replayed
+//     entries simply don't count, since honest replicas do transiently
+//     re-propose committed commands when queues diverge. A Byzantine
+//     proposer therefore cannot make forged or replayed load dominate a
+//     decided batch: any honest proposal outweighs it.
+//   - Apply: the state machine (kv.Store in authenticated mode) re-verifies
+//     the envelope and deduplicates on (client, seq) instead of raw bytes,
+//     giving at-most-once semantics with a bounded per-client window that
+//     survives snapshot and restore.
+//   - Audit: Cluster.CheckProvenance sweeps honest logs after a run and
+//     fails if any decided entry is unauthenticated or any (client, seq)
+//     committed twice — the invariant the fabrication soaks assert.
+//
+// Legacy (unauthenticated) mode remains the default: raw commands keep
+// flowing byte-for-byte as before, so existing deployments and benchmarks
+// stay comparable, and BenchmarkSMRAuthenticated measures the signed path
+// against that baseline.
+//
 // The package is runtime-agnostic: Cluster and Pipeline drive instances
 // through the in-memory simulator (one engine per instance, stepped
 // round-robin so concurrent instances truly overlap in simulated time, with
@@ -232,11 +272,13 @@ type Replica struct {
 	SM  StateMachine
 	Log *Log
 
-	mu       sync.Mutex
-	pending  []model.Value
-	queued   map[model.Value]struct{}
-	maxBatch int
-	sizer    BatchSizer
+	mu           sync.Mutex
+	pending      []model.Value
+	queued       map[model.Value]struct{}
+	queuedIdents map[[2]uint64]struct{} // (client, seq) of queued envelopes (auth mode)
+	maxBatch     int
+	sizer        BatchSizer
+	auth         *AuthContext
 }
 
 // BatchSizer sizes one proposal from the current queue depth. The
@@ -251,8 +293,9 @@ type BatchSizer interface {
 func NewReplica(id model.PID, sm StateMachine) *Replica {
 	return &Replica{
 		ID: id, SM: sm, Log: &Log{},
-		queued:   make(map[model.Value]struct{}),
-		maxBatch: MaxBatchSize,
+		queued:       make(map[model.Value]struct{}),
+		queuedIdents: make(map[[2]uint64]struct{}),
+		maxBatch:     MaxBatchSize,
 	}
 }
 
@@ -280,25 +323,67 @@ func (r *Replica) SetBatchSizer(s BatchSizer) {
 	r.sizer = s
 }
 
+// SetCommandAuth switches the replica to authenticated mode: Submit admits
+// only verified command envelopes with fresh sequence numbers, and Commit
+// records committed (client, seq) pairs in the context's replay window. A
+// nil context restores legacy raw-bytes mode. Call before commands flow.
+func (r *Replica) SetCommandAuth(ax *AuthContext) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.auth = ax
+}
+
+// commandAuth returns the installed authentication context, if any.
+func (r *Replica) commandAuth() *AuthContext {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.auth
+}
+
 // Submit queues a client command for proposal. Inadmissible commands are
 // dropped at the door: duplicates already queued (an honest replica never
 // builds a batch with repeated entries; the state machine additionally
-// deduplicates by request id across instances), empty values, NoOp,
-// batch-prefixed values (a command that parses as a batch could never be
-// proposed and would wedge the queue head forever) and commands too large
-// to ever fit a batch. The queued-set index keeps Submit O(1) under
-// pipelined client load.
-func (r *Replica) Submit(cmd model.Value) {
+// deduplicates across instances), empty values, NoOp, batch-prefixed values
+// (a command that parses as a batch could never be proposed and would wedge
+// the queue head forever) and commands too large to ever fit a batch. In
+// authenticated mode the door also demands provenance: the command must be
+// an envelope with a valid client MAC, a sequence number that has not
+// already committed, and an identity no queued command already claims — an
+// equivocating client signing the same seq over two payloads gets exactly
+// one of them queued, so an honest batch can never carry both. The
+// queued-set index keeps Submit O(1) under pipelined client load.
+//
+// It reports whether the command entered (or already occupied) the queue:
+// false means the command was dropped and will never be proposed — ingress
+// protocols use the report to tell the client instead of silently eating
+// the write.
+func (r *Replica) Submit(cmd model.Value) bool {
 	if !Admissible(cmd) {
-		return
+		return false
+	}
+	ax := r.commandAuth()
+	var ident [2]uint64
+	if ax != nil {
+		id := ax.identify(cmd)
+		if !id.ok || ax.window.Seen(id.client, id.seq) {
+			return false
+		}
+		ident = [2]uint64{uint64(id.client), id.seq}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.queued[cmd]; ok {
-		return
+		return true // identical bytes already queued: idempotent
+	}
+	if ax != nil {
+		if _, claimed := r.queuedIdents[ident]; claimed {
+			return false // another payload holds this (client, seq)
+		}
+		r.queuedIdents[ident] = struct{}{}
 	}
 	r.queued[cmd] = struct{}{}
 	r.pending = append(r.pending, cmd)
+	return true
 }
 
 // Proposal returns the value the replica proposes for the next instance: a
@@ -370,23 +455,61 @@ func (r *Replica) ProposalAt(skip, limit int) (model.Value, int) {
 // of a batch, in order) is appended to the log, removed from the pending
 // queue and applied to the state machine (NoOp is appended but not
 // applied). It returns one response per applied command.
+//
+// In authenticated mode the queue is additionally pruned by identity, not
+// just by exact bytes: a pending command whose (client, seq) just committed
+// under different payload bytes — an equivocating but provisioned client
+// signed the same seq twice — or whose seq is already below the replay
+// horizon will never carry weight again, and leaving such zombies queued
+// would waste a batch slot every proposal and let the duplicate identity
+// ride honest batches into the decided log.
 func (r *Replica) Commit(decided model.Value) []string {
 	cmds := Commands(decided)
 	decidedSet := make(map[model.Value]struct{}, len(cmds))
+	r.mu.Lock()
+	ax := r.auth
+	var decidedIdents map[[2]uint64]struct{}
 	for _, cmd := range cmds {
 		decidedSet[cmd] = struct{}{}
+		if ax != nil {
+			if id := ax.identify(cmd); id.ok {
+				if decidedIdents == nil {
+					decidedIdents = make(map[[2]uint64]struct{}, len(cmds))
+				}
+				decidedIdents[[2]uint64{uint64(id.client), id.seq}] = struct{}{}
+			}
+		}
 	}
 	// One filter pass keeps the commit O(queue) regardless of batch size.
-	r.mu.Lock()
+	// In auth mode the queued-identity index is rebuilt from the survivors
+	// in the same pass.
+	var keptIdents map[[2]uint64]struct{}
+	if ax != nil {
+		keptIdents = make(map[[2]uint64]struct{}, len(r.pending))
+	}
 	kept := r.pending[:0]
 	for _, pending := range r.pending {
 		if _, ok := decidedSet[pending]; ok {
 			delete(r.queued, pending)
 			continue
 		}
+		if ax != nil {
+			if id := ax.identify(pending); id.ok {
+				ident := [2]uint64{uint64(id.client), id.seq}
+				_, dup := decidedIdents[ident]
+				if dup || ax.window.Seen(id.client, id.seq) {
+					delete(r.queued, pending)
+					continue
+				}
+				keptIdents[ident] = struct{}{}
+			}
+		}
 		kept = append(kept, pending)
 	}
 	r.pending = kept
+	if ax != nil {
+		r.queuedIdents = keptIdents
+	}
 	r.mu.Unlock()
 	r.Log.AppendBatch(cmds)
 	responses := make([]string, 0, len(cmds))
@@ -396,6 +519,12 @@ func (r *Replica) Commit(decided model.Value) []string {
 			continue
 		}
 		responses = append(responses, r.SM.Apply(cmd))
+		if ax != nil {
+			// Commit order defines the replay horizon: from here on the
+			// chooser refuses to weigh this (client, seq) again and Submit
+			// bounces client retries of it.
+			ax.RecordCommitted(cmd)
+		}
 	}
 	return responses
 }
@@ -429,6 +558,7 @@ type Cluster struct {
 	crashed   map[model.PID]bool
 	ctrl      *AdaptiveBatch
 	managers  []*SnapshotManager // nil until EnableSnapshots
+	authCtx   *AuthContext       // nil until EnableCommandAuth
 }
 
 // Errors returned by the cluster.
@@ -446,21 +576,36 @@ var (
 // and are never preferred over real commands, so queued commands cannot be
 // starved by NoOp proposals or syntactically invalid batches.
 //
-// The chooser validates batch structure, not command provenance: a
-// Byzantine proposer can still submit a well-formed batch of fabricated
-// commands and win the choice (as in any SMR without authenticated client
-// commands — the application layer rejects them, e.g. by request-id
-// signature, but they occupy log space). Authenticating commands
-// end-to-end is tracked in ROADMAP.md. Safety is unaffected either way:
-// the chooser runs only when FLV returns "?" (any value may be selected).
-type CommandChooser struct{}
+// With a nil Auth the chooser validates batch structure, not command
+// provenance — a Byzantine proposer can still submit a well-formed batch of
+// fabricated commands and win the choice, as in any SMR without
+// authenticated client commands. With an AuthContext installed (the
+// authenticated command lifecycle, see the package doc) the choice rule
+// re-verifies provenance: only commands with valid client MACs that have
+// not already committed carry weight, a batch containing any fabricated
+// entry weighs zero, and forged or replayed load can therefore never
+// dominate an honest proposal. Safety is unaffected either way: the chooser
+// runs only when FLV returns "?" (any value may be selected).
+type CommandChooser struct {
+	// Auth enables provenance-checked weighing; nil keeps the legacy
+	// structure-only rule.
+	Auth *AuthContext
+}
+
+// weight ranks one vote under the configured rule.
+func (c CommandChooser) weight(v model.Value) int {
+	if c.Auth != nil {
+		return authWeight(v, c.Auth)
+	}
+	return BatchWeight(v)
+}
 
 // Choose implements core.Chooser.
-func (CommandChooser) Choose(mu model.Received) (model.Value, bool) {
+func (c CommandChooser) Choose(mu model.Received) (model.Value, bool) {
 	best := model.NoValue
 	bestWeight := 0
 	for _, m := range mu {
-		w := BatchWeight(m.Vote)
+		w := c.weight(m.Vote)
 		if w == 0 {
 			continue
 		}
@@ -473,17 +618,32 @@ func (CommandChooser) Choose(mu model.Received) (model.Value, bool) {
 	}
 	// No committable command among the votes: prefer an explicit NoOp over
 	// opaque junk (a zero-weight Byzantine value would only waste the
-	// instance), then fall back to the default minimum rule.
+	// instance).
 	for _, m := range mu {
 		if m.Vote == NoOp {
 			return NoOp, true
 		}
 	}
+	// Authenticated mode never falls back to an unverified vote: if every
+	// vote is zero-weight and none is NoOp (e.g. honest replicas proposed
+	// fully-replayed batches while a Byzantine vote is the lexicographic
+	// minimum), selecting the minimum could decide a fabricated value.
+	// NoOp is always safe here — the chooser runs only when FLV returned
+	// "?" — and merely costs the instance, like a zero-weight decision
+	// would have.
+	if c.Auth != nil {
+		return NoOp, true
+	}
 	return mu.MinValue()
 }
 
 // Name implements core.Chooser.
-func (CommandChooser) Name() string { return "choose/smr-batch" }
+func (c CommandChooser) Name() string {
+	if c.Auth != nil {
+		return "choose/smr-batch-auth"
+	}
+	return "choose/smr-batch"
+}
 
 // NewCluster builds n replicas over the given consensus parameterization.
 // smFactory supplies each replica's state machine instance. The line-11
@@ -507,6 +667,30 @@ func NewCluster(params core.Params, smFactory func(model.PID) StateMachine, seed
 
 // Replica returns replica p.
 func (c *Cluster) Replica(p model.PID) *Replica { return c.replicas[p] }
+
+// EnableCommandAuth switches the cluster to the authenticated command
+// lifecycle: the chooser becomes provenance-checked, and every replica
+// verifies envelopes at ingress and records committed (client, seq) pairs.
+// The context is shared — honest replicas commit the same sequence, so one
+// replay window serves ingress, choice and audit alike. Must be called
+// before instances run.
+func (c *Cluster) EnableCommandAuth(ax *AuthContext) {
+	c.mu.Lock()
+	c.authCtx = ax
+	c.params.Chooser = CommandChooser{Auth: ax}
+	c.mu.Unlock()
+	for _, r := range c.replicas {
+		r.SetCommandAuth(ax)
+	}
+}
+
+// AuthContext returns the cluster's command-authentication context (nil in
+// legacy mode).
+func (c *Cluster) AuthContext() *AuthContext {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.authCtx
+}
 
 // SetBatchSize bounds every replica's proposals to n commands per batch.
 func (c *Cluster) SetBatchSize(n int) {
@@ -825,6 +1009,67 @@ func (c *Cluster) CheckConsistency() error {
 			if want != got {
 				return fmt.Errorf("%w: entry %d: %q vs %q", ErrDiverged, i, want, got)
 			}
+		}
+	}
+	return nil
+}
+
+// Errors returned by the provenance audit.
+var (
+	ErrUnauthenticated = errors.New("smr: unauthenticated command in decided log")
+	ErrReplayCommitted = errors.New("smr: (client, seq) committed more than once")
+	ErrNoAuth          = errors.New("smr: command authentication not enabled")
+)
+
+// CheckProvenance verifies the authenticated-mode integrity invariant over
+// honest members' retained logs: every decided non-NoOp entry is a command
+// envelope with a valid client MAC (a Byzantine proposer got nothing
+// fabricated, stripped or malformed past the choice rule), and no
+// (client, seq) pair occupies two log positions (nothing replayed into the
+// decided sequence). Byzantine members are unconstrained and skipped, like
+// in CheckConsistency.
+//
+// The no-duplicate half is exact under serial instance execution
+// (RunInstance/Drain), where every honest queue is pruned at each commit
+// before the next proposal is built. Under pipelined execution honest
+// replicas whose queues transiently diverge may legitimately re-propose a
+// committed command (the claim policy documented on CommitQueue and
+// Pipeline), so a duplicate there is not necessarily Byzantine — rely on
+// the state machine's (client, seq) dedup for at-most-once instead of this
+// audit.
+func (c *Cluster) CheckProvenance() error {
+	c.mu.Lock()
+	ax := c.authCtx
+	byzSet := make(map[model.PID]bool, len(c.byzantine))
+	for p := range c.byzantine {
+		byzSet[p] = true
+	}
+	c.mu.Unlock()
+	if ax == nil {
+		return ErrNoAuth
+	}
+	for _, r := range c.replicas {
+		if byzSet[r.ID] {
+			continue
+		}
+		first, entries := r.Log.Retained()
+		seen := make(map[[2]uint64]uint64, len(entries))
+		for i, v := range entries {
+			pos := first + uint64(i)
+			if v == NoOp {
+				continue
+			}
+			id := ax.identify(v)
+			if !id.ok {
+				return fmt.Errorf("%w: member %d position %d: %q",
+					ErrUnauthenticated, r.ID, pos, v)
+			}
+			key := [2]uint64{uint64(id.client), id.seq}
+			if prev, dup := seen[key]; dup {
+				return fmt.Errorf("%w: member %d client %d seq %d at positions %d and %d",
+					ErrReplayCommitted, r.ID, id.client, id.seq, prev, pos)
+			}
+			seen[key] = pos
 		}
 	}
 	return nil

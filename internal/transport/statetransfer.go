@@ -57,8 +57,13 @@ func (n *Node) SetPeers(peers map[model.PID]string) {
 
 // RecordDecision caches one committed instance's decided value so that
 // catching-up peers can fetch it (DecisionRequest) after the instance's
-// consensus buffers are released. The ring is bounded by
-// Config.DecisionCache, oldest evicted first.
+// consensus buffers are released. The ring is bounded two ways, oldest
+// evicted first: by entry count (Config.DecisionCache) and by decided-value
+// bytes (Config.DecisionCacheBytes). The byte budget is the binding one
+// under batched load — ring × max-batch-bytes dwarfs any sensible memory
+// target — so the effective ring depth adapts to the decided values: deep
+// for small decisions, shallow for bursts of maximum-size batches. The
+// newest decision is always retained, even if it alone exceeds the budget.
 func (n *Node) RecordDecision(instance uint64, decided model.Value) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -67,10 +72,22 @@ func (n *Node) RecordDecision(instance uint64, decided model.Value) {
 	}
 	n.decisions[instance] = decided
 	n.decisionLog = append(n.decisionLog, instance)
-	for len(n.decisionLog) > n.cfg.DecisionCache {
-		delete(n.decisions, n.decisionLog[0])
+	n.decisionBytes += len(decided)
+	for len(n.decisionLog) > 1 &&
+		(len(n.decisionLog) > n.cfg.DecisionCache || n.decisionBytes > n.cfg.DecisionCacheBytes) {
+		oldest := n.decisionLog[0]
+		n.decisionBytes -= len(n.decisions[oldest])
+		delete(n.decisions, oldest)
 		n.decisionLog = n.decisionLog[1:]
 	}
+}
+
+// DecisionCacheStats reports the ring's current entry count and decided-
+// value bytes (budget tests and metrics).
+func (n *Node) DecisionCacheStats() (entries, bytes int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.decisionLog), n.decisionBytes
 }
 
 // handleSnapFrame serves one authenticated state-transfer request

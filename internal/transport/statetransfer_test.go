@@ -221,3 +221,60 @@ func TestFetchVerifiedSnapshotSurvivesDownPeer(t *testing.T) {
 		t.Fatalf("got watermark %d", got.LastInstance)
 	}
 }
+
+// TestDecisionCacheByteBudget is the ROADMAP-flagged worst case: a burst of
+// maximum-size decided batches must stay under the configured byte budget —
+// the entry bound alone would admit ring × batch-bytes of memory — with the
+// effective ring depth adapting to the decided values' size, and the newest
+// decisions always fetchable.
+func TestDecisionCacheByteBudget(t *testing.T) {
+	nodes := startCluster(t, 2)
+	const budget = 256 << 10 // 256 KiB, far below 1024 entries × 32 KiB
+	nodes[1].cfg.DecisionCache = 1024
+	nodes[1].cfg.DecisionCacheBytes = budget
+
+	maxBatch := model.Value(bytes.Repeat([]byte{'x'}, 32<<10)) // MaxBatchBytes-sized value
+	for i := uint64(1); i <= 1024; i++ {
+		nodes[1].RecordDecision(i, maxBatch)
+	}
+	entries, used := nodes[1].DecisionCacheStats()
+	if used > budget {
+		t.Fatalf("ring holds %d bytes, budget %d", used, budget)
+	}
+	wantEntries := budget / (32 << 10)
+	if entries > wantEntries {
+		t.Fatalf("ring holds %d entries, want <= %d under the byte budget", entries, wantEntries)
+	}
+	// The newest decision survived the burst and is still served.
+	if got, err := nodes[0].FetchDecision(1, 1024, time.Second); err != nil || got != maxBatch {
+		t.Fatalf("newest decision: %q, %v", got[:8], err)
+	}
+	// The oldest was evicted by bytes long before the entry bound.
+	if _, err := nodes[0].FetchDecision(1, 1, time.Second); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("oldest decision: err = %v, want ErrNotCached", err)
+	}
+
+	// Small decisions fill the ring to its entry bound instead: the depth
+	// adapts to value size.
+	nodes[1].cfg.DecisionCache = 64
+	for i := uint64(2000); i < 2200; i++ {
+		nodes[1].RecordDecision(i, "tiny")
+	}
+	if entries, used := nodes[1].DecisionCacheStats(); entries != 64 || used > budget {
+		t.Fatalf("small-value ring: %d entries, %d bytes", entries, used)
+	}
+}
+
+// TestDecisionCacheOversizedSingle: one decided value larger than the whole
+// budget is still cached (the newest decision must always be available to
+// laggards) but alone.
+func TestDecisionCacheOversizedSingle(t *testing.T) {
+	nodes := startCluster(t, 2)
+	nodes[1].cfg.DecisionCacheBytes = 1024
+	nodes[1].RecordDecision(1, "small")
+	nodes[1].RecordDecision(2, model.Value(bytes.Repeat([]byte{'y'}, 4096)))
+	entries, used := nodes[1].DecisionCacheStats()
+	if entries != 1 || used != 4096 {
+		t.Fatalf("ring: %d entries, %d bytes; want the oversized newcomer alone", entries, used)
+	}
+}

@@ -69,6 +69,12 @@ type Config struct {
 	// interval so a recovering replica can always bridge the gap between
 	// the newest checkpoint and the cluster head.
 	DecisionCache int
+	// DecisionCacheBytes bounds the ring by decided-value bytes (default
+	// 4 MiB). The entry count alone admits a ring × max-batch-bytes worst
+	// case, so the byte budget is what actually caps memory: a burst of
+	// maximum-size batches evicts proportionally more (older) entries,
+	// adapting the effective ring depth to the decided values' size.
+	DecisionCacheBytes int
 }
 
 // Errors returned by the transport.
@@ -87,16 +93,17 @@ type Node struct {
 	cfg Config
 	ln  net.Listener
 
-	mu          sync.Mutex
-	conns       map[model.PID]*peerConn
-	inbound     map[net.Conn]struct{}
-	instances   map[uint64]*instanceBuf
-	released    uint64 // high-watermark of released instance ids
-	hasReleased bool   // distinguishes "nothing released" from watermark 0
-	closed      bool
-	provider    SnapshotProvider
-	decisions   map[uint64]model.Value // recent decided values, served to laggards
-	decisionLog []uint64               // ring order for eviction
+	mu            sync.Mutex
+	conns         map[model.PID]*peerConn
+	inbound       map[net.Conn]struct{}
+	instances     map[uint64]*instanceBuf
+	released      uint64 // high-watermark of released instance ids
+	hasReleased   bool   // distinguishes "nothing released" from watermark 0
+	closed        bool
+	provider      SnapshotProvider
+	decisions     map[uint64]model.Value // recent decided values, served to laggards
+	decisionLog   []uint64               // ring order for eviction
+	decisionBytes int                    // decided-value bytes held by the ring
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -151,6 +158,9 @@ func Listen(cfg Config) (*Node, error) {
 	}
 	if cfg.DecisionCache <= 0 {
 		cfg.DecisionCache = 256
+	}
+	if cfg.DecisionCacheBytes <= 0 {
+		cfg.DecisionCacheBytes = 4 << 20
 	}
 	addr := cfg.ListenAddr
 	if addr == "" {

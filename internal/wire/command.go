@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Command envelopes: the wire representation of an authenticated client
+// command. A client wraps its application payload in a CommandEnvelope —
+// client id, per-client sequence number and a MAC over all three — and the
+// envelope travels the whole SMR path as an opaque value: queued, batched,
+// voted on, decided, logged and applied without re-encoding. Every layer
+// that must judge provenance (ingress, the batch chooser, the state
+// machine) decodes and verifies the same bytes, so there is exactly one
+// encoding to get right and it lives here, next to the rest of the wire
+// codec.
+//
+// Layout (a value string, binary-safe):
+//
+//	envelope := cmdMagic client ';' seq ';' plen ':' payload mac
+//
+// with client, seq and plen in canonical ASCII decimal (no leading zeros)
+// and mac exactly CommandMACSize raw bytes. The encoding is deterministic:
+// identical (client, seq, payload, mac) tuples encode byte-identically on
+// every process, so envelopes can be compared, deduplicated and batched as
+// plain strings.
+
+const (
+	// cmdMagic prefixes every encoded command envelope. Like the batch
+	// magic it contains control bytes no application payload starts with,
+	// so envelopes, batches and raw commands can never be confused.
+	cmdMagic = "\x02cmd\x02"
+	// CommandMACSize is the exact authenticator length (HMAC-SHA256).
+	CommandMACSize = 32
+	// MaxCommandPayloadBytes bounds the application payload of one
+	// envelope. It keeps the whole encoding comfortably inside the SMR
+	// batch budget (32 KiB) and the codec's u16 string bound.
+	MaxCommandPayloadBytes = 30 << 10
+	// maxCommandSeqDigits bounds the ASCII width of client and seq fields
+	// (u64 needs at most 20 digits).
+	maxCommandSeqDigits = 20
+	// DefaultSeqWindow is the standard per-client sequence horizon shared
+	// by every layer that tracks (client, seq) pairs — the SMR replay
+	// filter and the state machine's dedup window alias it, so the two
+	// horizons cannot drift apart. A client must not have more than this
+	// many commands in flight.
+	DefaultSeqWindow = 1024
+)
+
+// CommandEnvelope is one authenticated client command.
+type CommandEnvelope struct {
+	// Client identifies the issuing client (its key slot in the client
+	// keyring).
+	Client uint32
+	// Seq is the client's command sequence number: (Client, Seq) identify
+	// a command for at-most-once execution, replacing raw-bytes dedup.
+	Seq uint64
+	// Payload is the application command (e.g. a kv command string).
+	Payload string
+	// MAC authenticates (Client, Seq, Payload) under the client's key.
+	MAC []byte
+}
+
+// Errors returned by the command codec.
+var (
+	ErrCommandMalformed = errors.New("wire: malformed command envelope")
+	ErrCommandTooLarge  = errors.New("wire: command payload exceeds MaxCommandPayloadBytes")
+)
+
+// EncodedCommandSize accounts the exact encoded size of an envelope with a
+// payload of the given length — the envelope's footprint in everything
+// sized by value bytes (batch byte budgets charge this plus their own
+// per-entry framing overhead). Callers with payloads near a size budget
+// can pre-check without encoding.
+func EncodedCommandSize(client uint32, seq uint64, payloadLen int) int {
+	return len(cmdMagic) +
+		len(fmt.Sprintf("%d;%d;%d:", client, seq, payloadLen)) +
+		payloadLen + CommandMACSize
+}
+
+// IsCommand reports whether v carries the command-envelope magic prefix. A
+// true result does not imply validity; DecodeCommand performs full
+// validation.
+func IsCommand(v string) bool {
+	return strings.HasPrefix(v, cmdMagic)
+}
+
+// EncodeCommand serializes an envelope. The payload must be non-empty and
+// within MaxCommandPayloadBytes; the MAC must be exactly CommandMACSize
+// bytes (the codec carries authenticators, it does not compute them).
+func EncodeCommand(env CommandEnvelope) (string, error) {
+	if env.Payload == "" {
+		return "", fmt.Errorf("%w: empty payload", ErrCommandMalformed)
+	}
+	if len(env.Payload) > MaxCommandPayloadBytes {
+		return "", fmt.Errorf("%w: %d bytes", ErrCommandTooLarge, len(env.Payload))
+	}
+	if len(env.MAC) != CommandMACSize {
+		return "", fmt.Errorf("%w: MAC is %d bytes, want %d", ErrCommandMalformed, len(env.MAC), CommandMACSize)
+	}
+	var b strings.Builder
+	b.Grow(EncodedCommandSize(env.Client, env.Seq, len(env.Payload)))
+	b.WriteString(cmdMagic)
+	fmt.Fprintf(&b, "%d;%d;%d:", env.Client, env.Seq, len(env.Payload))
+	b.WriteString(env.Payload)
+	b.Write(env.MAC)
+	return b.String(), nil
+}
+
+// DecodeCommand strictly parses an encoded envelope: canonical decimal
+// fields, exact payload length, exactly CommandMACSize trailing MAC bytes,
+// no slack anywhere. Byzantine proposers can put arbitrary bytes on the
+// wire, so a decode error marks the value as not interpretable as an
+// authenticated command — verification layers treat it as fabricated.
+func DecodeCommand(v string) (CommandEnvelope, error) {
+	var env CommandEnvelope
+	if !strings.HasPrefix(v, cmdMagic) {
+		return env, fmt.Errorf("%w: missing magic", ErrCommandMalformed)
+	}
+	rest := v[len(cmdMagic):]
+	client, rest, err := parseUint(rest, ';')
+	if err != nil {
+		return env, err
+	}
+	if client > 1<<32-1 {
+		return env, fmt.Errorf("%w: client id overflow", ErrCommandMalformed)
+	}
+	seq, rest, err := parseUint(rest, ';')
+	if err != nil {
+		return env, err
+	}
+	plen, rest, err := parseUint(rest, ':')
+	if err != nil {
+		return env, err
+	}
+	if plen == 0 || plen > MaxCommandPayloadBytes {
+		return env, fmt.Errorf("%w: payload length %d", ErrCommandTooLarge, plen)
+	}
+	if uint64(len(rest)) != plen+CommandMACSize {
+		return env, fmt.Errorf("%w: %d bytes after header, want %d", ErrCommandMalformed, len(rest), plen+CommandMACSize)
+	}
+	env.Client = uint32(client)
+	env.Seq = seq
+	env.Payload = rest[:plen]
+	env.MAC = []byte(rest[plen:])
+	return env, nil
+}
+
+// SeqTracker is one client's sliding sequence horizon: the highest
+// recorded seq plus exact entries for the window below it. It is the one
+// implementation of the horizon mechanics shared by every (client, seq)
+// tracker — the SMR replay filter (V = struct{}) and the state machine's
+// dedup window (V = cached response) must keep identical semantics (both
+// also alias DefaultSeqWindow), so the arithmetic lives here with the
+// envelope contract. The zero horizon rules: anything at or below
+// Max-window is assumed recorded; entries above it are tracked exactly.
+// SeqTracker is not synchronized; callers wrap it in their own locking.
+type SeqTracker[V any] struct {
+	// Max is the highest recorded sequence number.
+	Max uint64
+	// Entries holds the exact values for in-window sequences.
+	Entries map[uint64]V
+}
+
+// NewSeqTracker returns an empty tracker.
+func NewSeqTracker[V any]() *SeqTracker[V] {
+	return &SeqTracker[V]{Entries: make(map[uint64]V)}
+}
+
+// BelowHorizon reports whether seq fell below the exact-tracking horizon
+// (assumed recorded; its value is gone).
+func (t *SeqTracker[V]) BelowHorizon(seq, window uint64) bool {
+	return t.Max >= window && seq <= t.Max-window
+}
+
+// Record stores v at seq and advances the horizon, evicting entries that
+// fall below it. Recording below the horizon is a no-op.
+func (t *SeqTracker[V]) Record(seq uint64, v V, window uint64) {
+	if t.BelowHorizon(seq, window) {
+		return
+	}
+	t.Entries[seq] = v
+	if seq > t.Max {
+		oldMax := t.Max
+		t.Max = seq
+		EvictBelowFloor(t.Entries, oldMax, t.Max, window)
+	}
+}
+
+// EvictBelowFloor drops entries of a per-client sequence window that fell
+// below the advancing horizon (max - window). The common advance is by 1,
+// so it walks the (oldFloor, newFloor] numeric range — O(advance) — and
+// falls back to a full map scan only when the horizon jumped farther than
+// the map is large.
+func EvictBelowFloor[V any](m map[uint64]V, oldMax, newMax, window uint64) {
+	if newMax < window {
+		return
+	}
+	newFloor := newMax - window
+	oldFloor := uint64(0)
+	if oldMax >= window {
+		oldFloor = oldMax - window
+	}
+	if span := newFloor - oldFloor; span <= uint64(len(m)) {
+		for seq := oldFloor + 1; seq <= newFloor; seq++ {
+			delete(m, seq)
+		}
+		// oldFloor itself is only populated before the horizon existed.
+		delete(m, oldFloor)
+		return
+	}
+	for seq := range m {
+		if seq <= newFloor {
+			delete(m, seq)
+		}
+	}
+}
+
+// parseUint reads a canonical ASCII decimal prefix terminated by sep: no
+// empty digits, no leading zeros, bounded width (u64 range).
+func parseUint(s string, sep byte) (uint64, string, error) {
+	i := 0
+	var n uint64
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c == sep {
+			break
+		}
+		if c < '0' || c > '9' {
+			return 0, "", fmt.Errorf("%w: bad digit %q", ErrCommandMalformed, c)
+		}
+		if i >= maxCommandSeqDigits {
+			return 0, "", fmt.Errorf("%w: number too wide", ErrCommandMalformed)
+		}
+		d := uint64(c - '0')
+		if n > (1<<64-1-d)/10 {
+			return 0, "", fmt.Errorf("%w: number overflow", ErrCommandMalformed)
+		}
+		n = n*10 + d
+	}
+	if i == 0 || i >= len(s) {
+		return 0, "", fmt.Errorf("%w: missing number or separator", ErrCommandMalformed)
+	}
+	if s[0] == '0' && i > 1 {
+		return 0, "", fmt.Errorf("%w: non-canonical leading zero", ErrCommandMalformed)
+	}
+	return n, s[i+1:], nil
+}
