@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth bench-disk fmt fmt-check vet ci
 
 # Iteration budget for bench-json; CI uses the fast single pass.
 BENCHTIME ?= 1x
@@ -53,6 +53,19 @@ bench-auth:
 	$(GO) test -bench=SMRAuthenticated -benchtime=$(AUTH_BENCHTIME) -run='^$$' . > BENCH_auth.txt
 	cat BENCH_auth.txt
 	$(GO) run ./cmd/benchjson < BENCH_auth.txt > BENCH_auth.json
+
+# Durable-storage benchmark artifact: the disk WAL across the fsync
+# on/off × batch 1/64 matrix, plus incremental (delta) vs full checkpoint
+# encoding on the 10k-key / 1% mutation workload (snap-bytes is the
+# per-interval encode+transfer cost each mode pays). Both runs append into
+# one BENCH_disk.txt so benchjson emits a single artifact.
+DISK_BENCHTIME ?= 100x
+
+bench-disk:
+	$(GO) test -bench=DiskWAL -benchtime=$(DISK_BENCHTIME) -run='^$$' ./internal/storage > BENCH_disk.txt
+	$(GO) test -bench=IncrementalSnapshot -benchtime=20x -run='^$$' ./internal/snapshot >> BENCH_disk.txt
+	cat BENCH_disk.txt
+	$(GO) run ./cmd/benchjson < BENCH_disk.txt > BENCH_disk.json
 
 fmt:
 	gofmt -w .

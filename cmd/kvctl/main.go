@@ -14,8 +14,9 @@
 // ACMD lines carrying (client, seq, mac) so replicas can verify provenance
 // before queueing. Sequence numbers continue from the cluster's view of the
 // client (the ASEQ protocol verb reports the highest applied seq; kvctl
-// takes the maximum across replicas), so repeated invocations never replay
-// and never jump the per-client horizon. Concurrent invocations should
+// takes the maximum over the replicas that answer, tolerating unreachable
+// ones, and errors only when fewer than b+1 respond — see -b), so repeated
+// invocations never replay and never jump the per-client horizon. Concurrent invocations should
 // still use distinct -client-id values: two processes sharing an id race
 // the same sequence space and can bounce each other's in-flight writes.
 // Durable per-client sequence state is the key-distribution follow-up
@@ -83,6 +84,7 @@ func main() {
 		clientID   = flag.Uint("client-id", 0, "this client's keyring id")
 		clientSeed = flag.Int64("client-seed", 42, "client key derivation seed (must match the cluster)")
 		seqBase    = flag.Uint64("seq", 0, "first sequence number (0 = continue after the cluster's ASEQ horizon)")
+		byzB       = flag.Int("b", 1, "cluster's Byzantine budget: the ASEQ probe needs b+1 replies")
 	)
 	flag.Parse()
 	addrs := strings.Split(*nodes, ",")
@@ -98,15 +100,32 @@ func main() {
 		} else {
 			// Continue after the cluster's highest applied seq for this
 			// client (maximum across replicas — a lagging replica must not
-			// hand out an already-burned base). Lazy: read-only
-			// subcommands never pay the probe round-trips.
+			// hand out an already-burned base). An unreachable replica is
+			// tolerated, not fatal: the maximum over the replicas that DO
+			// answer is correct as long as at least b+1 of them respond
+			// (one of b+1 is honest and no honest replica under-reports a
+			// horizon another honest replica has applied past... it may lag
+			// it, which the maximum absorbs). Fewer than b+1 answers would
+			// let a Byzantine minority hand out a stale base, so only then
+			// does the submit fail. Lazy: read-only subcommands never pay
+			// the probe round-trips.
 			w.seqInit = func() uint64 {
 				base := uint64(0)
+				answered := 0
 				for _, addr := range addrs {
 					resp := request(strings.TrimSpace(addr), fmt.Sprintf("ASEQ %d", *clientID))
-					if max, err := strconv.ParseUint(resp, 10, 64); err == nil && max > base {
+					max, err := strconv.ParseUint(resp, 10, 64)
+					if err != nil {
+						continue // down, unreachable or not in auth mode
+					}
+					answered++
+					if max > base {
 						base = max
 					}
+				}
+				if answered < *byzB+1 {
+					fail(fmt.Sprintf("ASEQ probe: only %d replica(s) answered, need b+1 = %d (pass -seq to override)",
+						answered, *byzB+1))
 				}
 				return base
 			}

@@ -17,6 +17,14 @@
 // its watermark instead of replaying a history that no longer exists.
 // -applied-keep bounds the duplicate-suppression table at each checkpoint.
 //
+// With -data-dir the node is durable: every decided instance is appended
+// to a CRC-framed write-ahead log before it is applied (-fsync/-fsync-batch
+// trade flush cost against the power-loss window), checkpoints persist as
+// atomic on-disk files (incremental deltas with a periodic full snapshot,
+// -full-snapshot-every), and restart recovery runs disk-first — local
+// checkpoint, WAL replay, then the peer probe — so even a whole-cluster
+// power cycle converges from the data directories alone.
+//
 // A 4-node local cluster:
 //
 //	go run ./cmd/kvnode -id 0 -n 4 -listen 127.0.0.1:7100 -client 127.0.0.1:7200 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 &
@@ -68,6 +76,10 @@ func main() {
 		adaptive   = flag.Bool("adaptive-batch", true, "size batches from queue depth and observed instance latency")
 		snapEvery  = flag.Uint64("snapshot-interval", 1024, "checkpoint every K committed instances (0 disables snapshots and recovery)")
 		keep       = flag.Int("applied-keep", 1<<16, "dedup-table entries kept at each checkpoint (0 = unbounded)")
+		dataDir    = flag.String("data-dir", "", "durable storage directory (WAL + checkpoints; empty = memory-only)")
+		fsync      = flag.Bool("fsync", true, "fsync WAL appends and checkpoint writes (with -data-dir)")
+		fsyncBatch = flag.Int("fsync-batch", 8, "WAL appends per fsync (1 = every append)")
+		fullEvery  = flag.Int("full-snapshot-every", 4, "every k-th on-disk checkpoint is full, the rest are deltas")
 		clientAuth = flag.Bool("client-auth", false, "require signed client commands (ACMD; provenance checked at every layer)")
 		numClients = flag.Int("num-clients", 16, "provisioned client keyring size (with -client-auth)")
 		clientSeed = flag.Int64("client-seed", 0, "client key derivation seed (0 = -auth-seed; must match kvctl)")
@@ -86,20 +98,24 @@ func main() {
 
 	nd, err := node.New(node.Config{
 		ID: model.PID(*id), N: *n, B: *b, F: *f, TD: *td,
-		Peers:            peers,
-		ListenAddr:       *listen,
-		ClientAddr:       *client,
-		AuthSeed:         *authSeed,
-		MaxBatch:         *maxBatch,
-		Pipeline:         *pipeline,
-		Adaptive:         *adaptive,
-		SnapshotInterval: *snapEvery,
-		AppliedKeep:      *keep,
-		ClientAuth:       *clientAuth,
-		NumClients:       *numClients,
-		ClientSeed:       *clientSeed,
-		ClientWindow:     *clientWin,
-		Logf:             log.Printf,
+		Peers:             peers,
+		ListenAddr:        *listen,
+		ClientAddr:        *client,
+		AuthSeed:          *authSeed,
+		MaxBatch:          *maxBatch,
+		Pipeline:          *pipeline,
+		Adaptive:          *adaptive,
+		SnapshotInterval:  *snapEvery,
+		AppliedKeep:       *keep,
+		DataDir:           *dataDir,
+		Fsync:             *fsync,
+		FsyncBatch:        *fsyncBatch,
+		FullSnapshotEvery: *fullEvery,
+		ClientAuth:        *clientAuth,
+		NumClients:        *numClients,
+		ClientSeed:        *clientSeed,
+		ClientWindow:      *clientWin,
+		Logf:              log.Printf,
 	}, kv.NewStore())
 	if err != nil {
 		log.Fatalf("kvnode: %v", err)

@@ -98,12 +98,21 @@ func (q *CommitQueue) Unclaimed() int {
 // straggler for an instance a snapshot install already covered — is
 // dropped: committing it again would double-apply, and releasing its claim
 // again would corrupt the offset.
+//
+// Durability happens here, not at apply time: with a storage backend
+// installed the decision is appended to the write-ahead log the moment it
+// is delivered — even when it must buffer behind a gap — so a replica that
+// finished an instance has it durably whether or not the in-order commit
+// reached it yet. That is what lets a whole-cluster power cycle recover
+// the pipeline's out-of-order frontier instead of only the committed
+// prefix.
 func (q *CommitQueue) Deliver(instance uint64, decided model.Value) int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if instance < q.nextCommit {
 		return 0
 	}
+	q.replica.LogDecision(instance, decided)
 	q.decisions[instance] = decided
 	return q.flushLocked()
 }

@@ -73,6 +73,45 @@
 //     b+1-verified cached decisions (transport.FetchVerifiedDecision), so
 //     a laggard converges even when no new checkpoint is coming.
 //
+// # Durability and recovery ordering
+//
+// Snapshots and decision caches solve crash recovery only while someone
+// stays up: a whole-cluster power cycle used to erase every checkpoint,
+// every log and every replay window at once. The storage layer
+// (internal/storage) closes that gap with two durable structures per
+// replica, and one rule about the order recovery consults them:
+//
+//   - Write-ahead decision log: the moment an instance's decision is known
+//     — CommitQueue.Deliver on the transport path, Cluster.commitDecision
+//     in the sim — Replica.LogDecision appends (instance, value) to the
+//     backend's CRC-framed WAL, before the batch is applied. Appends are
+//     idempotent per instance and may arrive out of order (pipelining);
+//     fsync is batched. A torn final record (power loss mid-append) is
+//     truncated at open and costs exactly the records that had not reached
+//     the disk, never the prefix.
+//
+//   - Durable checkpoints: every SnapshotManager checkpoint (and every
+//     verified snapshot Install) is persisted to the backend's snapshot
+//     store — written to a temp file and renamed, digest-verified on load,
+//     encoded incrementally (deltas against the previous checkpoint with a
+//     periodic full snapshot and a chain digest, snapshot.Incremental*) —
+//     and then the WAL is truncated at the checkpoint boundary, so the WAL
+//     only ever spans checkpoint-to-head.
+//
+//   - Recovery ordering — disk first, then peers: a restarting replica
+//     loads its newest verified local checkpoint, replays its WAL above it
+//     (reseeding the decision ring so it can serve laggard peers), and
+//     only then probes peers for anything newer (the b+1-verified snapshot
+//     and decision transfer of PR 3). After a whole-cluster outage there
+//     are no live peers to ask — disk-first is what makes the full power
+//     cycle (Cluster.PowerCycle in the sim, TestKVNodePowerCycle over TCP)
+//     converge from local state alone. Auth replay windows reseed from the
+//     restored state exactly as in peer recovery.
+//
+// Availability wins over durability on storage failure: a broken disk
+// degrades the replica to in-memory operation (reported through the
+// backend error observer) instead of wedging the commit pipeline.
+//
 // # Authenticated command lifecycle
 //
 // Structure-only validation leaves one Byzantine lever: a proposer can fill
@@ -130,6 +169,7 @@ import (
 	"genconsensus/internal/core"
 	"genconsensus/internal/model"
 	"genconsensus/internal/sim"
+	"genconsensus/internal/storage"
 )
 
 // NoOp is the command proposed by replicas with empty queues.
@@ -279,6 +319,8 @@ type Replica struct {
 	maxBatch     int
 	sizer        BatchSizer
 	auth         *AuthContext
+	store        storage.Backend
+	storeErr     func(error)
 }
 
 // BatchSizer sizes one proposal from the current queue depth. The
@@ -338,6 +380,51 @@ func (r *Replica) commandAuth() *AuthContext {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.auth
+}
+
+// SetBackend gives the replica durable storage: LogDecision appends every
+// decided instance to the backend's WAL before it is applied, and the
+// snapshot manager (if any) persists each checkpoint to the backend and
+// truncates the WAL beneath it. onErr observes storage failures (nil
+// ignores them): the commit paths deliberately prefer availability — a
+// failing disk degrades the replica to in-memory operation rather than
+// wedging the cluster's commit pipeline. Call before instances run.
+func (r *Replica) SetBackend(b storage.Backend, onErr func(error)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = b
+	r.storeErr = onErr
+}
+
+// Backend returns the replica's durable storage (nil when memory-only).
+func (r *Replica) Backend() storage.Backend {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store
+}
+
+// reportStorageErr forwards a storage failure to the installed observer.
+func (r *Replica) reportStorageErr(err error) {
+	r.mu.Lock()
+	fn := r.storeErr
+	r.mu.Unlock()
+	if fn != nil && err != nil {
+		fn(err)
+	}
+}
+
+// LogDecision makes instance's decided value durable, write-ahead of the
+// apply: the commit paths (CommitQueue.Deliver, Cluster.commitDecision)
+// call it the moment a decision is known, so a power loss between decide
+// and apply replays the decision instead of forgetting it. Idempotent per
+// instance and tolerant of out-of-order calls (pipelined instances decide
+// out of order); a nil backend makes it a no-op.
+func (r *Replica) LogDecision(instance uint64, decided model.Value) {
+	if b := r.Backend(); b != nil {
+		if err := b.AppendWAL(instance, decided); err != nil {
+			r.reportStorageErr(fmt.Errorf("smr: wal append instance %d: %w", instance, err))
+		}
+	}
 }
 
 // Submit queues a client command for proposal. Inadmissible commands are
@@ -548,9 +635,10 @@ func (r *Replica) PendingLen() int {
 // scheduler goroutine — RunInstance and Pipeline.Drain must not be invoked
 // concurrently with each other.
 type Cluster struct {
-	params   core.Params
-	replicas []*Replica
-	seed     int64
+	params    core.Params
+	replicas  []*Replica
+	seed      int64
+	smFactory func(model.PID) StateMachine
 
 	mu        sync.Mutex
 	instance  uint64
@@ -558,7 +646,9 @@ type Cluster struct {
 	crashed   map[model.PID]bool
 	ctrl      *AdaptiveBatch
 	managers  []*SnapshotManager // nil until EnableSnapshots
+	snapCfg   SnapshotConfig     // valid while managers != nil
 	authCtx   *AuthContext       // nil until EnableCommandAuth
+	backends  []storage.Backend  // nil until EnableStorage
 }
 
 // Errors returned by the cluster.
@@ -656,6 +746,7 @@ func NewCluster(params core.Params, smFactory func(model.PID) StateMachine, seed
 	c := &Cluster{
 		params:    params,
 		seed:      seed,
+		smFactory: smFactory,
 		byzantine: make(map[model.PID]adversary.Strategy),
 		crashed:   make(map[model.PID]bool),
 	}
@@ -898,6 +989,9 @@ func (c *Cluster) commitDecision(instance uint64, decided model.Value, latencyRo
 	c.mu.Unlock()
 	for _, r := range c.replicas {
 		if live[r.ID] {
+			// Write-ahead: the decision reaches the WAL before the apply,
+			// so a power cycle between the two replays it.
+			r.LogDecision(instance, decided)
 			r.Commit(decided)
 			if managers != nil {
 				managers[r.ID].MaybeSnapshot(instance)

@@ -96,7 +96,27 @@ func (m *SnapshotManager) Checkpoint(instance uint64) *snapshot.Snapshot {
 	m.digest = snapshot.Digest(snap)
 	m.taken++
 	m.r.Log.TruncatePrefix(snap.LogIndex)
+	m.persistLocked(snap)
 	return snap
+}
+
+// persistLocked pushes a checkpoint to the replica's durable backend (if
+// any) and truncates the WAL beneath it — the decided instances it covers
+// are now replayable from the snapshot instead. Storage failures degrade
+// to in-memory checkpoints (reported, not fatal): a broken disk must not
+// stop the compaction that keeps memory bounded. Callers hold m.mu.
+func (m *SnapshotManager) persistLocked(snap *snapshot.Snapshot) {
+	b := m.r.Backend()
+	if b == nil {
+		return
+	}
+	if err := b.SaveSnapshot(snap); err != nil {
+		m.r.reportStorageErr(fmt.Errorf("smr: persisting checkpoint %d: %w", snap.LastInstance, err))
+		return
+	}
+	if err := b.TruncateWAL(snap.LastInstance); err != nil {
+		m.r.reportStorageErr(fmt.Errorf("smr: truncating wal at %d: %w", snap.LastInstance, err))
+	}
 }
 
 // Latest returns the most recent checkpoint and its digest.
@@ -131,6 +151,7 @@ func (m *SnapshotManager) Install(snap *snapshot.Snapshot) error {
 	m.r.Log.Reset(snap.LogIndex)
 	m.latest = snap
 	m.digest = snapshot.Digest(snap)
+	m.persistLocked(snap)
 	return nil
 }
 
@@ -148,6 +169,7 @@ func (c *Cluster) EnableSnapshots(cfg SnapshotConfig) error {
 	}
 	c.mu.Lock()
 	c.managers = managers
+	c.snapCfg = cfg
 	c.mu.Unlock()
 	return nil
 }

@@ -1,0 +1,348 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"genconsensus/internal/model"
+)
+
+// The WAL is one append-only file of CRC-framed records:
+//
+//	file   := header record*
+//	header := "GCWAL1\n\x00"                     (8 bytes)
+//	record := bodyLen(u32) crc32(u32) body       (crc32 = IEEE over body)
+//	body   := instance(u64) value
+//
+// A record is trusted only if its frame is complete AND its CRC matches: a
+// torn final write (power loss mid-append) fails one of the two and marks
+// the end of the usable log. Open truncates the file back to the last good
+// record, so the tear never propagates — everything before it replays,
+// everything after it is gone, and the next append continues cleanly.
+const (
+	walHeader = "GCWAL1\n\x00"
+	walName   = "wal.log"
+
+	// maxWALBody bounds one record's body (16 MiB): decided values are at
+	// most a batch (32 KiB today), so anything bigger is corruption — a
+	// garbage length prefix must not drive a giant allocation.
+	maxWALBody = 16 << 20
+)
+
+// wal is the disk write-ahead decision log. Callers serialize access (the
+// Disk backend holds its mutex across every call).
+type wal struct {
+	path  string
+	f     *os.File
+	fsync bool
+	batch int // fsync every batch appends (1 = every append)
+
+	unsynced int
+	have     map[uint64]struct{}
+	// size is the offset of the end of the last good record: appends that
+	// fail partway are rolled back to it so a torn frame can never orphan
+	// the appends after it.
+	size int64
+	// broken latches a failed rollback: the file may end in a torn frame
+	// that would silently swallow later appends, so every further append
+	// must error rather than claim durability.
+	broken bool
+	// tornBytes reports how many trailing bytes the last open discarded
+	// (observability for recovery logs and tests).
+	tornBytes int64
+}
+
+// encodeRecord frames one record: bodyLen, crc32 over the body, then the
+// body (instance + value). The single encoder keeps append and truncate
+// byte-identical.
+func encodeRecord(instance uint64, value model.Value) []byte {
+	body := make([]byte, 8, 8+len(value))
+	binary.BigEndian.PutUint64(body, instance)
+	body = append(body, value...)
+	rec := make([]byte, 8, 8+len(body))
+	binary.BigEndian.PutUint32(rec[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(body))
+	return append(rec, body...)
+}
+
+// openWAL opens (or creates) the WAL in dir, scanning it to rebuild the
+// instance set and truncating any torn tail.
+func openWAL(dir string, fsync bool, batch int) (*wal, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	w := &wal{
+		path:  filepath.Join(dir, walName),
+		fsync: fsync,
+		batch: batch,
+		have:  make(map[uint64]struct{}),
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening wal: %w", err)
+	}
+	w.f = f
+	if err := w.recover(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// recover validates the header, scans every record into the instance set
+// and truncates the file after the last good record.
+func (w *wal) recover() error {
+	info, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("storage: wal stat: %w", err)
+	}
+	size := info.Size()
+	if size < int64(len(walHeader)) {
+		// Empty or torn header: nothing recorded yet, start fresh.
+		w.tornBytes = size
+		return w.reset()
+	}
+	header := make([]byte, len(walHeader))
+	if _, err := w.f.ReadAt(header, 0); err != nil {
+		return fmt.Errorf("storage: wal header: %w", err)
+	}
+	if string(header) != walHeader {
+		return fmt.Errorf("storage: %s is not a WAL (bad header)", w.path)
+	}
+	good, err := w.scan(func(instance uint64, _ model.Value) error {
+		w.have[instance] = struct{}{}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if good < size {
+		w.tornBytes = size - good
+		if err := w.f.Truncate(good); err != nil {
+			return fmt.Errorf("storage: truncating torn wal tail: %w", err)
+		}
+		if err := w.syncFile(); err != nil {
+			return err
+		}
+	}
+	w.size = good
+	if _, err := w.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: wal seek: %w", err)
+	}
+	return nil
+}
+
+// reset truncates the WAL to a fresh header.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: resetting wal: %w", err)
+	}
+	if _, err := w.f.WriteAt([]byte(walHeader), 0); err != nil {
+		return fmt.Errorf("storage: writing wal header: %w", err)
+	}
+	w.size = int64(len(walHeader))
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: wal seek: %w", err)
+	}
+	return w.syncFile()
+}
+
+// scan walks the record stream from the start, calling fn for every
+// CRC-clean record, and returns the offset just past the last good record.
+// Corruption (bad length, CRC mismatch, short read) ends the scan without
+// error: the tear boundary is data, not failure.
+func (w *wal) scan(fn func(instance uint64, value model.Value) error) (int64, error) {
+	r := io.NewSectionReader(w.f, 0, 1<<62)
+	if _, err := r.Seek(int64(len(walHeader)), io.SeekStart); err != nil {
+		return 0, err
+	}
+	good := int64(len(walHeader))
+	frame := make([]byte, 8)
+	var body []byte
+	for {
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return good, nil // clean EOF or torn frame: stop here
+		}
+		bodyLen := binary.BigEndian.Uint32(frame[0:4])
+		sum := binary.BigEndian.Uint32(frame[4:8])
+		if bodyLen < 8 || bodyLen > maxWALBody {
+			return good, nil // garbage length: torn or corrupt
+		}
+		if cap(body) < int(bodyLen) {
+			body = make([]byte, bodyLen)
+		}
+		body = body[:bodyLen]
+		if _, err := io.ReadFull(r, body); err != nil {
+			return good, nil // short read: torn final record
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return good, nil // bit rot or tear inside the record
+		}
+		instance := binary.BigEndian.Uint64(body[0:8])
+		if err := fn(instance, model.Value(body[8:])); err != nil {
+			return good, err
+		}
+		good += int64(8 + len(body))
+	}
+}
+
+// append writes one record (write-ahead of the apply), honouring the fsync
+// batch. Duplicate instances are dropped: decisions are final. A failed
+// write is rolled back to the last good record so a torn frame cannot sit
+// mid-file and silently orphan every later append (scan stops at the first
+// bad frame); if even the rollback fails, the log latches broken and every
+// further append errors instead of claiming durability it cannot deliver.
+func (w *wal) append(instance uint64, value model.Value) error {
+	if w.broken {
+		return fmt.Errorf("storage: wal %s: unrecovered partial write, appends disabled", w.path)
+	}
+	if _, dup := w.have[instance]; dup {
+		return nil
+	}
+	rec := encodeRecord(instance, value)
+	if _, err := w.f.Write(rec); err != nil {
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.broken = true
+			return fmt.Errorf("storage: wal append: %w (rollback failed: %v)", err, terr)
+		}
+		if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+			w.broken = true
+			return fmt.Errorf("storage: wal append: %w (reseek failed: %v)", err, serr)
+		}
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	w.size += int64(len(rec))
+	w.have[instance] = struct{}{}
+	w.unsynced++
+	if w.fsync && w.unsynced >= w.batch {
+		return w.sync()
+	}
+	return nil
+}
+
+// sync flushes batched appends to stable storage.
+func (w *wal) sync() error {
+	if w.unsynced == 0 {
+		return nil
+	}
+	if err := w.syncFile(); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	return nil
+}
+
+func (w *wal) syncFile() error {
+	if !w.fsync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: wal fsync: %w", err)
+	}
+	return nil
+}
+
+// truncate rewrites the WAL keeping only records with instance > through:
+// the surviving window is written to a temp file which atomically replaces
+// the log, so a crash mid-truncate leaves either the old or the new file,
+// never a hybrid. When nothing falls below the boundary — every boot-time
+// re-Install of the already-persisted newest checkpoint lands here — the
+// rewrite is skipped entirely.
+func (w *wal) truncate(through uint64) error {
+	drop := false
+	for instance := range w.have {
+		if instance <= through {
+			drop = true
+			break
+		}
+	}
+	if !drop {
+		return nil
+	}
+	tmpPath := w.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmpPath)
+		}
+	}()
+	if _, err := tmp.Write([]byte(walHeader)); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	kept := make(map[uint64]struct{}, len(w.have))
+	size := int64(len(walHeader))
+	if _, err := w.scan(func(instance uint64, value model.Value) error {
+		if instance <= through {
+			return nil
+		}
+		rec := encodeRecord(instance, value)
+		if _, err := tmp.Write(rec); err != nil {
+			return err
+		}
+		size += int64(len(rec))
+		kept[instance] = struct{}{}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	if w.fsync {
+		if err := tmp.Sync(); err != nil {
+			return fmt.Errorf("storage: wal truncate fsync: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		return fmt.Errorf("storage: wal truncate rename: %w", err)
+	}
+	_ = w.f.Close()
+	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: reopening wal: %w", err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("storage: wal seek: %w", err)
+	}
+	w.f = f
+	w.have = kept
+	w.size = size
+	w.unsynced = 0
+	w.broken = false
+	return syncDir(filepath.Dir(w.path), w.fsync)
+}
+
+// close syncs and releases the file.
+func (w *wal) close() error {
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string, fsync bool) error {
+	if !fsync {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: opening dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: dir fsync: %w", err)
+	}
+	return nil
+}
