@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth bench-disk fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth bench-disk bench-wire fmt fmt-check vet ci
 
 # Iteration budget for bench-json; CI uses the fast single pass.
 BENCHTIME ?= 1x
@@ -47,7 +47,7 @@ bench-tcp:
 # Authenticated-command benchmark artifact: signed vs legacy command path at
 # batch=64, W=4 (BENCH_auth.{txt,json}); CI uploads both. BENCHTIME should
 # be a multiple pass (e.g. 20x) for stable cmds/sec numbers.
-AUTH_BENCHTIME ?= 20x
+AUTH_BENCHTIME ?= 100x
 
 bench-auth:
 	$(GO) test -bench=SMRAuthenticated -benchtime=$(AUTH_BENCHTIME) -run='^$$' . > BENCH_auth.txt
@@ -66,6 +66,28 @@ bench-disk:
 	$(GO) test -bench=IncrementalSnapshot -benchtime=20x -run='^$$' ./internal/snapshot >> BENCH_disk.txt
 	cat BENCH_disk.txt
 	$(GO) run ./cmd/benchjson < BENCH_disk.txt > BENCH_disk.json
+
+# Zero-copy wire-path benchmark artifact: kvload sweeps real loopback
+# clusters plain and over the authenticated session transport (best of
+# WIRE_REPS runs per depth, damping single-core scheduler noise), with pprof
+# profiles of the plain sweep as CI artifacts. benchgate enforces the
+# throughput floor — WIRE_FLOOR is 5x the pre-zero-copy W=4 baseline of
+# 3233.2 cmds/sec — at both depths, which also guards the old W=8 regression
+# (6295.2 cmds/sec) without gating on the noise-prone W=4 vs W=8 ordering.
+WIRE_DEPTHS ?= 4,8
+WIRE_CMDS ?= 512
+WIRE_REPS ?= 3
+WIRE_FLOOR ?= 16166
+
+bench-wire:
+	$(GO) run ./cmd/kvload -depths $(WIRE_DEPTHS) -cmds $(WIRE_CMDS) -reps $(WIRE_REPS) \
+		-cpuprofile BENCH_wire_cpu.pprof -memprofile BENCH_wire_mem.pprof > BENCH_wire.txt
+	$(GO) run ./cmd/kvload -session -depths $(WIRE_DEPTHS) -cmds $(WIRE_CMDS) -reps $(WIRE_REPS) >> BENCH_wire.txt
+	cat BENCH_wire.txt
+	$(GO) run ./cmd/benchjson < BENCH_wire.txt > BENCH_wire.json
+	$(GO) run ./cmd/benchgate -input BENCH_wire.json \
+		'BenchmarkTCPKVLoad/W=4:cmds/sec:$(WIRE_FLOOR)' \
+		'BenchmarkTCPKVLoad/W=8:cmds/sec:$(WIRE_FLOOR)'
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,150 @@
+// Command benchgate enforces benchmark floors in CI: it reads a cmd/benchjson
+// report and checks that a named benchmark's metric clears a threshold,
+// exiting non-zero (with a diagnostic naming the observed and required
+// values) when it does not. Gates are positional arguments of the form
+//
+//	<benchmark-name>:<metric>:<min>
+//
+// matched against the report by exact name or by unique substring, so CI can
+// write "TCPKVLoad/W=4" instead of the full benchmark path. Use -max to gate
+// an upper bound instead (e.g. ns/op regressions, ratio metrics).
+//
+//	go run ./cmd/benchgate -input BENCH_wire.json 'TCPKVLoad/W=4:cmds/sec:16166'
+//	go run ./cmd/benchjson < BENCH_wire.txt | go run ./cmd/benchgate 'TCPKVLoad/W=4:cmds/sec:16166'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark and Report mirror cmd/benchjson's output schema.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		input = flag.String("input", "", "benchjson report to read (empty = stdin)")
+		max   = flag.Bool("max", false, "treat every threshold as an upper bound instead of a floor")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fail("usage: benchgate [-input report.json] [-max] <name>:<metric>:<threshold> ...")
+	}
+
+	in := os.Stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fail(err.Error())
+		}
+		defer f.Close()
+		in = f
+	}
+	var report Report
+	if err := json.NewDecoder(in).Decode(&report); err != nil {
+		fail("parsing report: " + err.Error())
+	}
+
+	failed := 0
+	for _, gate := range flag.Args() {
+		name, metric, threshold, err := parseGate(gate)
+		if err != nil {
+			fail(err.Error())
+		}
+		b, err := findBenchmark(report.Benchmarks, name)
+		if err != nil {
+			fail(err.Error())
+		}
+		got, ok := b.Metrics[metric]
+		if !ok {
+			fail(fmt.Sprintf("%s: no metric %q (have %s)", b.Name, metric, metricNames(b)))
+		}
+		bad := got < threshold
+		op := ">="
+		if *max {
+			bad = got > threshold
+			op = "<="
+		}
+		if bad {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s %s = %g, need %s %g\n",
+				b.Name, metric, got, op, threshold)
+			failed++
+			continue
+		}
+		fmt.Printf("benchgate: ok %s %s = %g (%s %g)\n", b.Name, metric, got, op, threshold)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseGate splits "<name>:<metric>:<min>". The metric itself may contain
+// "/" (cmds/sec) but not ":", so splitting on the last two colons is exact.
+func parseGate(s string) (name, metric string, threshold float64, err error) {
+	last := strings.LastIndex(s, ":")
+	if last < 0 {
+		return "", "", 0, fmt.Errorf("gate %q: want <name>:<metric>:<threshold>", s)
+	}
+	threshold, err = strconv.ParseFloat(s[last+1:], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("gate %q: bad threshold: %v", s, err)
+	}
+	rest := s[:last]
+	mid := strings.LastIndex(rest, ":")
+	if mid < 0 {
+		return "", "", 0, fmt.Errorf("gate %q: want <name>:<metric>:<threshold>", s)
+	}
+	return rest[:mid], rest[mid+1:], threshold, nil
+}
+
+// findBenchmark resolves a gate name to exactly one benchmark: an exact
+// name match wins; otherwise the name must be a substring of exactly one
+// benchmark (ambiguity is an error, not a guess).
+func findBenchmark(benchmarks []Benchmark, name string) (Benchmark, error) {
+	var matches []Benchmark
+	for _, b := range benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+		if strings.Contains(b.Name, name) {
+			matches = append(matches, b)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return Benchmark{}, fmt.Errorf("no benchmark matches %q", name)
+	default:
+		names := make([]string, len(matches))
+		for i, b := range matches {
+			names[i] = b.Name
+		}
+		return Benchmark{}, fmt.Errorf("%q is ambiguous: %s", name, strings.Join(names, ", "))
+	}
+}
+
+func metricNames(b Benchmark) string {
+	names := make([]string, 0, len(b.Metrics))
+	for m := range b.Metrics {
+		names = append(names, m)
+	}
+	return strings.Join(names, ", ")
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "benchgate:", msg)
+	os.Exit(1)
+}

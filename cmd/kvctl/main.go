@@ -22,9 +22,18 @@
 // Durable per-client sequence state is the key-distribution follow-up
 // tracked in ROADMAP.md.
 //
+// -session is the amortized-auth variant of -auth: kvctl authenticates each
+// connection once (the SHELLO handshake, deriving a per-connection session
+// key) and then sends SCMD writes carrying only a truncated session tag —
+// no per-command envelope MAC on the wire. Sequence numbers are shared
+// across the replicas (every replica must mint the identical envelope from
+// (client, seq, payload)); only the tag differs per connection, under that
+// connection's session key.
+//
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201 set color green
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201 mset color green shape circle size big
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 -auth -client-id 3 set color green
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200 -session -client-id 3 mset a 1 b 2
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 get color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 del color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 loglen
@@ -32,6 +41,7 @@ package main
 
 import (
 	"bufio"
+	crand "crypto/rand"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -54,6 +64,17 @@ type writer struct {
 	seqInit func() uint64 // lazy base discovery; runs once, before the first write
 }
 
+// nextSeq allocates the next client sequence number, resolving the lazy
+// base discovery on first use.
+func (w *writer) nextSeq() uint64 {
+	if w.seqInit != nil {
+		w.seq = w.seqInit()
+		w.seqInit = nil
+	}
+	w.seq++
+	return w.seq
+}
+
 // line formats one write. value is ignored for DEL.
 func (w *writer) line(op, key, value string) string {
 	op = strings.ToUpper(op)
@@ -64,16 +85,17 @@ func (w *writer) line(op, key, value string) string {
 		}
 		return fmt.Sprintf("CMD %s SET %s %s", reqID, key, value)
 	}
-	if w.seqInit != nil {
-		w.seq = w.seqInit()
-		w.seqInit = nil
-	}
-	w.seq++
-	mac := hex.EncodeToString(kv.AuthMAC(w.signer, w.seq, op, key, value))
+	seq := w.nextSeq()
+	mac := hex.EncodeToString(kv.AuthMAC(w.signer, seq, op, key, value))
 	if op == "DEL" {
-		return fmt.Sprintf("ACMD %d %d %s DEL %s", w.signer.Client(), w.seq, mac, key)
+		return fmt.Sprintf("ACMD %d %d %s DEL %s", w.signer.Client(), seq, mac, key)
 	}
-	return fmt.Sprintf("ACMD %d %d %s SET %s %s", w.signer.Client(), w.seq, mac, key, value)
+	return fmt.Sprintf("ACMD %d %d %s SET %s %s", w.signer.Client(), seq, mac, key, value)
+}
+
+// writeOp is one SET/DEL destined for the cluster, before protocol framing.
+type writeOp struct {
+	op, key, value string
 }
 
 func main() {
@@ -81,6 +103,7 @@ func main() {
 		nodes      = flag.String("nodes", "127.0.0.1:7200", "comma-separated client addresses")
 		timeout    = flag.Duration("timeout", 10*time.Second, "overall operation timeout")
 		authMode   = flag.Bool("auth", false, "sign writes (cluster runs with -client-auth)")
+		sessMode   = flag.Bool("session", false, "authenticate each connection once (SHELLO) and send session-tagged writes")
 		clientID   = flag.Uint("client-id", 0, "this client's keyring id")
 		clientSeed = flag.Int64("client-seed", 42, "client key derivation seed (must match the cluster)")
 		seqBase    = flag.Uint64("seq", 0, "first sequence number (0 = continue after the cluster's ASEQ horizon)")
@@ -92,9 +115,14 @@ func main() {
 	if len(args) == 0 {
 		fail("usage: kvctl [-nodes ...] [-auth] set <k> <v> | mset <k> <v> [<k> <v> ...] | del <k> | get <k> | loglen")
 	}
+	if *authMode && *sessMode {
+		fail("-auth and -session are mutually exclusive (a session replaces per-command signing)")
+	}
 	w := &writer{}
 	if *authMode {
 		w.signer = auth.NewClientSigner(*clientSeed, uint32(*clientID))
+	}
+	if *authMode || *sessMode {
 		if *seqBase > 0 {
 			w.seq = *seqBase - 1
 		} else {
@@ -132,6 +160,29 @@ func main() {
 		}
 	}
 
+	// submit frames and broadcasts the writes in the selected mode: legacy
+	// CMD / signed ACMD lines over one-shot pipelined connections, or
+	// session-tagged SCMD lines over per-replica SHELLO'd connections.
+	submit := func(ops []writeOp) {
+		if *sessMode {
+			first := w.nextSeq()
+			for i := 1; i < len(ops); i++ {
+				w.nextSeq()
+			}
+			sessionBroadcast(addrs, auth.ClientKey(*clientSeed, uint32(*clientID)), uint32(*clientID), first, ops)
+			return
+		}
+		lines := make([]string, len(ops))
+		for i, o := range ops {
+			lines[i] = w.line(o.op, o.key, o.value)
+		}
+		if len(lines) == 1 {
+			broadcast(addrs, lines[0])
+			return
+		}
+		broadcastMany(addrs, lines)
+	}
+
 	switch strings.ToLower(args[0]) {
 	case "get":
 		if len(args) != 2 {
@@ -144,7 +195,7 @@ func main() {
 		if len(args) != 3 {
 			fail("usage: set <key> <value>")
 		}
-		broadcast(addrs, w.line("SET", args[1], args[2]))
+		submit([]writeOp{{"SET", args[1], args[2]}})
 		waitUntil(addrs[0], "GET "+args[1], args[2], *timeout)
 		fmt.Println("OK")
 	case "mset":
@@ -152,11 +203,11 @@ func main() {
 			fail("usage: mset <key> <value> [<key> <value> ...]")
 		}
 		pairs := args[1:]
-		lines := make([]string, 0, len(pairs)/2)
+		ops := make([]writeOp, 0, len(pairs)/2)
 		for i := 0; i < len(pairs); i += 2 {
-			lines = append(lines, w.line("SET", pairs[i], pairs[i+1]))
+			ops = append(ops, writeOp{"SET", pairs[i], pairs[i+1]})
 		}
-		broadcastMany(addrs, lines)
+		submit(ops)
 		// Poll each key for its final value: with a repeated key the later
 		// pair in the batch wins, so earlier values never materialize.
 		final := make(map[string]string, len(pairs)/2)
@@ -175,11 +226,94 @@ func main() {
 		if len(args) != 2 {
 			fail("usage: del <key>")
 		}
-		broadcast(addrs, w.line("DEL", args[1], ""))
+		submit([]writeOp{{"DEL", args[1], ""}})
 		waitUntil(addrs[0], "GET "+args[1], "NOTFOUND", *timeout)
 		fmt.Println("OK")
 	default:
 		fail("unknown operation " + args[0])
+	}
+}
+
+// dialSessionConn connects to one replica and completes the SHELLO
+// handshake, verifying the server's ack MAC before trusting the session.
+func dialSessionConn(addr string, ckey auth.MACKey, client uint32) (net.Conn, *bufio.Scanner, auth.MACKey, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, nil, auth.MACKey{}, err
+	}
+	var nonce [auth.SessionNonceSize]byte
+	if _, err := crand.Read(nonce[:]); err != nil {
+		conn.Close()
+		return nil, nil, auth.MACKey{}, err
+	}
+	mac := auth.ClientHelloMAC(ckey, client, nonce[:])
+	if _, err := fmt.Fprintf(conn, "SHELLO %d %s %s\n",
+		client, hex.EncodeToString(nonce[:]), hex.EncodeToString(mac)); err != nil {
+		conn.Close()
+		return nil, nil, auth.MACKey{}, err
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		conn.Close()
+		return nil, nil, auth.MACKey{}, fmt.Errorf("no SHELLO reply")
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 3 || fields[0] != "SESSION" {
+		conn.Close()
+		return nil, nil, auth.MACKey{}, fmt.Errorf("handshake refused: %s", sc.Text())
+	}
+	serverNonce, err1 := hex.DecodeString(fields[1])
+	ack, err2 := hex.DecodeString(fields[2])
+	if err1 != nil || err2 != nil || !auth.CheckClientHelloAckMAC(ckey, client, nonce[:], serverNonce, ack) {
+		conn.Close()
+		return nil, nil, auth.MACKey{}, fmt.Errorf("server ack rejected")
+	}
+	return conn, sc, auth.ClientSessionKey(ckey, client, nonce[:], serverNonce), nil
+}
+
+// sessionBroadcast opens one session per replica and pipelines the tagged
+// writes over it. The (client, seq, payload) triple is identical on every
+// replica — each mints the same command envelope — while the tag is
+// per-connection, under that session's key. At least one replica must queue
+// every line.
+func sessionBroadcast(addrs []string, ckey auth.MACKey, client uint32, firstSeq uint64, ops []writeOp) {
+	allQueued := 0
+	for _, addr := range addrs {
+		conn, sc, skey, err := dialSessionConn(strings.TrimSpace(addr), ckey, client)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvctl: %s: %v\n", addr, err)
+			continue
+		}
+		var b strings.Builder
+		for i, o := range ops {
+			seq := firstSeq + uint64(i)
+			payload := kv.AuthPayload(client, seq, o.op, o.key, o.value)
+			tag := auth.SessionMAC(nil, skey, seq, []byte(payload))
+			fmt.Fprintf(&b, "SCMD %d %s %s %s", seq, hex.EncodeToString(tag), o.op, o.key)
+			if o.op == "SET" {
+				b.WriteString(" " + o.value)
+			}
+			b.WriteByte('\n')
+		}
+		ok := true
+		if _, err := fmt.Fprint(conn, b.String()); err != nil {
+			ok = false
+		}
+		for range ops {
+			if !ok {
+				break
+			}
+			if !sc.Scan() || sc.Text() != "QUEUED" {
+				ok = false
+			}
+		}
+		conn.Close()
+		if ok {
+			allQueued++
+		}
+	}
+	if allQueued == 0 {
+		fail("no replica accepted the session batch")
 	}
 }
 

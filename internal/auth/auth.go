@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"genconsensus/internal/model"
 )
@@ -108,16 +109,64 @@ func PairKey(seed int64, a, b model.PID) MACKey {
 	return sha256.Sum256(material[:])
 }
 
+// macBufPool recycles the contiguous ipad/opad scratch buffers macSum
+// concatenates into, keeping the MAC hot path allocation-free (frame seals,
+// session MACs and command authenticators all run through it).
+var macBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
+// macSum is HMAC-SHA256 with a 32-byte key, computed with sha256.Sum256
+// over pooled scratch buffers instead of crypto/hmac's heap-allocated
+// hash states: H(k⊕opad ‖ H(k⊕ipad ‖ m)) with the key zero-padded to the
+// 64-byte block size. The output is bit-identical to crypto/hmac
+// (TestMACMatchesCryptoHMAC pins that).
+func macSum(key MACKey, parts ...[]byte) [sha256.Size]byte {
+	bufp := macBufPool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	for i := range key {
+		buf = append(buf, key[i]^0x36)
+	}
+	for i := 0; i < 32; i++ {
+		buf = append(buf, 0x36)
+	}
+	for _, p := range parts {
+		buf = append(buf, p...)
+	}
+	inner := sha256.Sum256(buf)
+	buf = buf[:0]
+	for i := range key {
+		buf = append(buf, key[i]^0x5c)
+	}
+	for i := 0; i < 32; i++ {
+		buf = append(buf, 0x5c)
+	}
+	buf = append(buf, inner[:]...)
+	outer := sha256.Sum256(buf)
+	*bufp = buf
+	macBufPool.Put(bufp)
+	return outer
+}
+
 // MAC computes the HMAC-SHA256 tag of payload under key.
 func MAC(key MACKey, payload []byte) []byte {
-	h := hmac.New(sha256.New, key[:])
-	h.Write(payload)
-	return h.Sum(nil)
+	sum := macSum(key, payload)
+	return sum[:]
+}
+
+// AppendMAC appends the HMAC-SHA256 tag of payload under key to dst —
+// the allocation-free form for callers assembling frames into pooled
+// buffers.
+func AppendMAC(dst []byte, key MACKey, payload []byte) []byte {
+	sum := macSum(key, payload)
+	return append(dst, sum[:]...)
 }
 
 // CheckMAC verifies tag in constant time.
 func CheckMAC(key MACKey, payload, tag []byte) bool {
-	return hmac.Equal(MAC(key, payload), tag)
+	sum := macSum(key, payload)
+	return hmac.Equal(sum[:], tag)
 }
 
 // --- Client command authentication ------------------------------------------
@@ -146,15 +195,38 @@ func ClientKey(seed int64, client uint32) MACKey {
 	return sha256.Sum256(material[:])
 }
 
-// commandSigBytes is the exact byte string a command MAC covers: the domain
-// tag, the client id, the sequence number and the payload. Signer and
-// verifier must agree on it byte for byte.
-func commandSigBytes(client uint32, seq uint64, payload []byte) []byte {
-	buf := make([]byte, 0, len(commandTag)+12+len(payload))
+// commandSum is the command authenticator: HMAC over the domain tag, the
+// client id, the sequence number and the payload. Signer and verifier must
+// agree on the covered bytes exactly. Generic over the payload so string
+// payloads verify without a copy.
+func commandSum[P ~string | ~[]byte](key MACKey, client uint32, seq uint64, payload P) [sha256.Size]byte {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], client)
+	binary.BigEndian.PutUint64(hdr[4:12], seq)
+	bufp := macBufPool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	for i := range key {
+		buf = append(buf, key[i]^0x36)
+	}
+	for i := 0; i < 32; i++ {
+		buf = append(buf, 0x36)
+	}
 	buf = append(buf, commandTag...)
-	buf = binary.BigEndian.AppendUint32(buf, client)
-	buf = binary.BigEndian.AppendUint64(buf, seq)
-	return append(buf, payload...)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	inner := sha256.Sum256(buf)
+	buf = buf[:0]
+	for i := range key {
+		buf = append(buf, key[i]^0x5c)
+	}
+	for i := 0; i < 32; i++ {
+		buf = append(buf, 0x5c)
+	}
+	buf = append(buf, inner[:]...)
+	outer := sha256.Sum256(buf)
+	*bufp = buf
+	macBufPool.Put(bufp)
+	return outer
 }
 
 // ClientSigner MACs commands for one client.
@@ -173,7 +245,8 @@ func (s *ClientSigner) Client() uint32 { return s.client }
 
 // Sign returns the MAC over (client, seq, payload).
 func (s *ClientSigner) Sign(seq uint64, payload []byte) []byte {
-	return MAC(s.key, commandSigBytes(s.client, seq, payload))
+	sum := commandSum(s.key, s.client, seq, payload)
+	return sum[:]
 }
 
 // ClientKeyring verifies command MACs for every provisioned client. It is
@@ -205,5 +278,148 @@ func (kr *ClientKeyring) VerifyCommand(client uint32, seq uint64, payload, mac [
 	if !ok {
 		return false
 	}
-	return CheckMAC(key, commandSigBytes(client, seq, payload), mac)
+	sum := commandSum(key, client, seq, payload)
+	return hmac.Equal(sum[:], mac)
+}
+
+// VerifyCommandStr is VerifyCommand over string payload and MAC: the
+// verdict-cache miss path holds both as substrings of the envelope value
+// and must not copy them per verification.
+func (kr *ClientKeyring) VerifyCommandStr(client uint32, seq uint64, payload, mac string) bool {
+	key, ok := kr.keys[client]
+	if !ok {
+		return false
+	}
+	sum := commandSum(key, client, seq, payload)
+	return hmac.Equal(sum[:], []byte(mac))
+}
+
+// Key returns the client's symmetric key (false for unprovisioned ids).
+// Session handshakes need the raw key to verify HELLOs and derive session
+// keys; within the symmetric-key model every replica holds it anyway.
+func (kr *ClientKeyring) Key(client uint32) (MACKey, bool) {
+	key, ok := kr.keys[client]
+	return key, ok
+}
+
+// --- Connection sessions ------------------------------------------------------
+//
+// Peers and clients authenticate once per connection: a HELLO exchange
+// under the long-lived key (the pairwise key for peers, the client key for
+// clients) binds two fresh nonces, and both ends derive a per-connection
+// session key from them. Every subsequent frame on the connection carries a
+// truncated session MAC plus a strictly monotonic sequence number instead
+// of a full per-frame, per-destination seal — authenticity is anchored in
+// the handshake, per-frame cost drops to one short HMAC with a pre-derived
+// key, and a replayed or reordered frame fails the sequence check.
+
+const (
+	// SessionNonceSize is the handshake nonce length.
+	SessionNonceSize = 16
+	// SessionMACSize is the truncated per-frame session tag length. 128
+	// bits of HMAC-SHA256 output: forgery still needs 2^128 work, half the
+	// per-frame authenticator bytes.
+	SessionMACSize = 16
+)
+
+// Domain tags for the session key schedule. Each derived value gets its
+// own tag so a transcript captured in one role can never be replayed in
+// another.
+const (
+	peerSessionTag   = "gc-peer-session-v1"
+	helloTag         = "gc-hello-v1"
+	helloAckTag      = "gc-hello-ack-v1"
+	clientHelloTag   = "gc-client-hello-v1"
+	clientAckTag     = "gc-client-hello-ack-v1"
+	clientSessionTag = "gc-client-session-v1"
+)
+
+// HelloMAC authenticates a peer HELLO: the dialer proves it holds the
+// pairwise key and binds its fresh nonce.
+func HelloMAC(pair MACKey, dialer model.PID, nonce []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(dialer))
+	sum := macSum(pair, []byte(helloTag), hdr[:], nonce)
+	return sum[:]
+}
+
+// CheckHelloMAC verifies a peer HELLO tag in constant time.
+func CheckHelloMAC(pair MACKey, dialer model.PID, nonce, tag []byte) bool {
+	return hmac.Equal(HelloMAC(pair, dialer, nonce), tag)
+}
+
+// HelloAckMAC authenticates the acceptor's reply, binding both nonces (so
+// neither end can be replayed into a stale handshake).
+func HelloAckMAC(pair MACKey, dialer model.PID, dialerNonce, acceptorNonce []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(dialer))
+	sum := macSum(pair, []byte(helloAckTag), hdr[:], dialerNonce, acceptorNonce)
+	return sum[:]
+}
+
+// CheckHelloAckMAC verifies a HELLO acknowledgement in constant time.
+func CheckHelloAckMAC(pair MACKey, dialer model.PID, dialerNonce, acceptorNonce, tag []byte) bool {
+	return hmac.Equal(HelloAckMAC(pair, dialer, dialerNonce, acceptorNonce), tag)
+}
+
+// SessionKey derives the per-connection peer session key from the pairwise
+// key and both handshake nonces. The dialer id is mixed in so the two
+// directions of a pair never share a key schedule.
+func SessionKey(pair MACKey, dialer model.PID, dialerNonce, acceptorNonce []byte) MACKey {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(dialer))
+	return MACKey(macSum(pair, []byte(peerSessionTag), hdr[:], dialerNonce, acceptorNonce))
+}
+
+// SessionMAC computes the truncated per-frame tag over (seq, payload)
+// under a session key, appending it to dst.
+func SessionMAC(dst []byte, key MACKey, seq uint64, payload []byte) []byte {
+	var seqb [8]byte
+	binary.BigEndian.PutUint64(seqb[:], seq)
+	sum := macSum(key, seqb[:], payload)
+	return append(dst, sum[:SessionMACSize]...)
+}
+
+// CheckSessionMAC verifies a truncated session tag in constant time.
+func CheckSessionMAC(key MACKey, seq uint64, payload, tag []byte) bool {
+	var seqb [8]byte
+	binary.BigEndian.PutUint64(seqb[:], seq)
+	sum := macSum(key, seqb[:], payload)
+	return hmac.Equal(sum[:SessionMACSize], tag)
+}
+
+// ClientHelloMAC authenticates a client's session HELLO under its command
+// key.
+func ClientHelloMAC(key MACKey, client uint32, nonce []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], client)
+	sum := macSum(key, []byte(clientHelloTag), hdr[:], nonce)
+	return sum[:]
+}
+
+// CheckClientHelloMAC verifies a client HELLO tag in constant time.
+func CheckClientHelloMAC(key MACKey, client uint32, nonce, tag []byte) bool {
+	return hmac.Equal(ClientHelloMAC(key, client, nonce), tag)
+}
+
+// ClientHelloAckMAC authenticates the replica's reply to a client HELLO,
+// binding both nonces — the client learns it is talking to a keyholder,
+// not a spoofed endpoint.
+func ClientHelloAckMAC(key MACKey, client uint32, clientNonce, serverNonce []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], client)
+	sum := macSum(key, []byte(clientAckTag), hdr[:], clientNonce, serverNonce)
+	return sum[:]
+}
+
+// CheckClientHelloAckMAC verifies a client HELLO acknowledgement.
+func CheckClientHelloAckMAC(key MACKey, client uint32, clientNonce, serverNonce, tag []byte) bool {
+	return hmac.Equal(ClientHelloAckMAC(key, client, clientNonce, serverNonce), tag)
+}
+
+// ClientSessionKey derives the per-connection client session key.
+func ClientSessionKey(key MACKey, client uint32, clientNonce, serverNonce []byte) MACKey {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], client)
+	return MACKey(macSum(key, []byte(clientSessionTag), hdr[:], clientNonce, serverNonce))
 }

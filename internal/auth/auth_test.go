@@ -1,6 +1,9 @@
 package auth
 
 import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
 	"errors"
 	"testing"
 )
@@ -138,5 +141,128 @@ func TestClientKeyDomainSeparation(t *testing.T) {
 	// captured channel MAC must never verify as a command MAC.
 	if ClientKey(3, 1) == PairKey(3, 0, 1) {
 		t.Error("client key collides with a pairwise channel key")
+	}
+}
+
+// TestMACMatchesCryptoHMAC pins the pooled-buffer HMAC implementation to
+// crypto/hmac bit for bit: every frame seal, session tag and command
+// authenticator in the system depends on this equivalence.
+func TestMACMatchesCryptoHMAC(t *testing.T) {
+	key := PairKey(99, 0, 1)
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("a longer payload spanning more than one sha256 block ---------------------------------"),
+		bytes.Repeat([]byte{0xa5}, 4096),
+	} {
+		ref := hmac.New(sha256.New, key[:])
+		ref.Write(payload)
+		want := ref.Sum(nil)
+		if got := MAC(key, payload); !bytes.Equal(got, want) {
+			t.Fatalf("MAC mismatch for %d-byte payload:\n got %x\nwant %x", len(payload), got, want)
+		}
+		if !CheckMAC(key, payload, want) {
+			t.Fatalf("CheckMAC rejected the crypto/hmac reference tag")
+		}
+		if got := AppendMAC([]byte("prefix"), key, payload); !bytes.Equal(got[6:], want) {
+			t.Fatalf("AppendMAC mismatch")
+		}
+	}
+}
+
+func TestSessionKeySchedule(t *testing.T) {
+	pair := PairKey(7, 0, 1)
+	nd := []byte("dialer-nonce-16b")
+	na := []byte("accept-nonce-16b")
+	k1 := SessionKey(pair, 0, nd, na)
+	// Deterministic for both ends.
+	if k2 := SessionKey(pair, 0, nd, na); k1 != k2 {
+		t.Fatal("session key not deterministic")
+	}
+	// Direction, nonces and pair key all separate the schedule.
+	if k1 == SessionKey(pair, 1, nd, na) {
+		t.Error("dialer direction must change the session key")
+	}
+	if k1 == SessionKey(pair, 0, na, nd) {
+		t.Error("nonce order must change the session key")
+	}
+	if k1 == SessionKey(PairKey(7, 0, 2), 0, nd, na) {
+		t.Error("pair key must change the session key")
+	}
+	if k1 == pair {
+		t.Error("session key must not equal the pairwise key")
+	}
+}
+
+func TestSessionMACRoundTrip(t *testing.T) {
+	key := SessionKey(PairKey(7, 0, 1), 0, []byte("dialer-nonce-16b"), []byte("accept-nonce-16b"))
+	payload := []byte("frame payload")
+	tag := SessionMAC(nil, key, 42, payload)
+	if len(tag) != SessionMACSize {
+		t.Fatalf("session tag length %d, want %d", len(tag), SessionMACSize)
+	}
+	if !CheckSessionMAC(key, 42, payload, tag) {
+		t.Fatal("genuine session MAC rejected")
+	}
+	if CheckSessionMAC(key, 43, payload, tag) {
+		t.Error("session MAC verified under the wrong sequence")
+	}
+	if CheckSessionMAC(key, 42, []byte("other payload"), tag) {
+		t.Error("session MAC verified over different bytes")
+	}
+	other := SessionKey(PairKey(7, 0, 1), 1, []byte("dialer-nonce-16b"), []byte("accept-nonce-16b"))
+	if CheckSessionMAC(other, 42, payload, tag) {
+		t.Error("session MAC verified under a different session key")
+	}
+}
+
+func TestHelloMACs(t *testing.T) {
+	pair := PairKey(7, 2, 3)
+	nonce := []byte("dialer-nonce-16b")
+	tag := HelloMAC(pair, 2, nonce)
+	if !CheckHelloMAC(pair, 2, nonce, tag) {
+		t.Fatal("genuine HELLO tag rejected")
+	}
+	if CheckHelloMAC(pair, 3, nonce, tag) {
+		t.Error("HELLO tag verified for the wrong dialer")
+	}
+	ack := HelloAckMAC(pair, 2, nonce, []byte("accept-nonce-16b"))
+	if !CheckHelloAckMAC(pair, 2, nonce, []byte("accept-nonce-16b"), ack) {
+		t.Fatal("genuine HELLO-ACK tag rejected")
+	}
+	if CheckHelloAckMAC(pair, 2, nonce, []byte("accept-nonce-16X"), ack) {
+		t.Error("HELLO-ACK verified with a different acceptor nonce")
+	}
+	// HELLO and ACK tags are domain-separated even over identical fields.
+	if bytes.Equal(tag, HelloAckMAC(pair, 2, nonce, nil)) {
+		t.Error("HELLO and HELLO-ACK share a tag")
+	}
+}
+
+func TestClientSessionSchedule(t *testing.T) {
+	key := ClientKey(11, 5)
+	cn := []byte("client-nonce-16b")
+	sn := []byte("server-nonce-16b")
+	tag := ClientHelloMAC(key, 5, cn)
+	if !CheckClientHelloMAC(key, 5, cn, tag) {
+		t.Fatal("genuine client HELLO rejected")
+	}
+	if CheckClientHelloMAC(key, 6, cn, tag) {
+		t.Error("client HELLO verified for the wrong client id")
+	}
+	ack := ClientHelloAckMAC(key, 5, cn, sn)
+	if !CheckClientHelloAckMAC(key, 5, cn, sn, ack) {
+		t.Fatal("genuine client HELLO-ACK rejected")
+	}
+	sk := ClientSessionKey(key, 5, cn, sn)
+	if sk == key {
+		t.Error("client session key must not equal the client key")
+	}
+	if sk != ClientSessionKey(key, 5, cn, sn) {
+		t.Error("client session key not deterministic")
+	}
+	if sk == ClientSessionKey(key, 5, sn, cn) {
+		t.Error("client session key ignores nonce order")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -37,6 +38,17 @@ import (
 // it; the local interface keeps kv free of a crypto dependency.
 type CommandVerifier interface {
 	VerifyCommand(client uint32, seq uint64, payload, mac []byte) bool
+}
+
+// ValueVerifier is an optional CommandVerifier extension judging a whole
+// encoded envelope value at once. smr.AuthContext implements it with a
+// verdict cache keyed by the value bytes — the same bytes were already
+// judged at ingress and in every chooser evaluation — so an apply that
+// receives a ValueVerifier skips the per-replica HMAC recompute entirely
+// on the hot path. Verification semantics are identical; only the work is
+// shared.
+type ValueVerifier interface {
+	VerifyValue(v model.Value) bool
 }
 
 // DefaultSeqWindow is the per-client dedup horizon in authenticated mode:
@@ -71,6 +83,16 @@ type Store struct {
 	verify    CommandVerifier                     // nil = legacy raw-bytes mode
 	seqWindow uint64                              // per-client horizon (auth mode)
 	clients   map[uint32]*wire.SeqTracker[string] // client → applied seq → response
+
+	// Sorted-key cache for SnapshotState: checkpoints re-encode the whole
+	// store every interval, and re-sorting every key each time dominated
+	// the commit path's CPU under load. sortedKeys holds the keys already
+	// in order, newKeys the ones inserted since the last snapshot (merged
+	// in at the next one), and keysResort forces a full rebuild after a
+	// delete or a state restore.
+	sortedKeys []string
+	newKeys    []string
+	keysResort bool
 }
 
 // NewStore returns an empty store.
@@ -99,9 +121,19 @@ func (s *Store) EnableClientAuth(v CommandVerifier, window int) {
 // Command formats an SMR command. value is ignored for DEL.
 func Command(reqID, op, key, value string) model.Value {
 	if strings.EqualFold(op, "DEL") {
-		return model.Value(fmt.Sprintf("%s|DEL|%s", reqID, key))
+		b := make([]byte, 0, len(reqID)+len(key)+5)
+		b = append(b, reqID...)
+		b = append(b, "|DEL|"...)
+		b = append(b, key...)
+		return model.Value(b)
 	}
-	return model.Value(fmt.Sprintf("%s|SET|%s|%s", reqID, key, value))
+	b := make([]byte, 0, len(reqID)+len(key)+len(value)+6)
+	b = append(b, reqID...)
+	b = append(b, "|SET|"...)
+	b = append(b, key...)
+	b = append(b, '|')
+	b = append(b, value...)
+	return model.Value(b)
 }
 
 // AuthPayload formats the canonical application payload of an authenticated
@@ -109,7 +141,24 @@ func Command(reqID, op, key, value string) model.Value {
 // every verifying replica reconstruct the identical byte string from the
 // envelope fields alone.
 func AuthPayload(client uint32, seq uint64, op, key, value string) model.Value {
-	return Command(fmt.Sprintf("c%d.%d", client, seq), op, key, value)
+	return model.Value(appendAuthPayload(nil, client, seq, op, key, value))
+}
+
+// appendAuthPayload builds the canonical payload into one buffer:
+// "c<client>.<seq>|OP|key[|value]".
+func appendAuthPayload(dst []byte, client uint32, seq uint64, op, key, value string) []byte {
+	dst = append(dst, 'c')
+	dst = strconv.AppendUint(dst, uint64(client), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, seq, 10)
+	if strings.EqualFold(op, "DEL") {
+		dst = append(dst, "|DEL|"...)
+		return append(dst, key...)
+	}
+	dst = append(dst, "|SET|"...)
+	dst = append(dst, key...)
+	dst = append(dst, '|')
+	return append(dst, value...)
 }
 
 // AuthMAC signs the canonical payload for (signer, seq): the tag a client
@@ -125,17 +174,15 @@ func AuthMAC(signer *auth.ClientSigner, seq uint64, op, key, value string) []byt
 // in-process clients (tests, benchmarks, cmd/kvload) submit in
 // authenticated mode.
 func SignedCommand(signer *auth.ClientSigner, seq uint64, op, key, value string) (model.Value, error) {
-	payload := AuthPayload(signer.Client(), seq, op, key, value)
-	enc, err := wire.EncodeCommand(wire.CommandEnvelope{
-		Client:  signer.Client(),
-		Seq:     seq,
-		Payload: string(payload),
-		MAC:     signer.Sign(seq, []byte(payload)),
-	})
+	client := signer.Client()
+	pb := appendAuthPayload(make([]byte, 0, 24+len(op)+len(key)+len(value)), client, seq, op, key, value)
+	mac := signer.Sign(seq, pb)
+	buf := make([]byte, 0, wire.EncodedCommandSize(client, seq, len(pb)))
+	buf, err := wire.AppendCommandBytes(buf, client, seq, pb, mac)
 	if err != nil {
 		return model.NoValue, fmt.Errorf("kv: encoding signed command: %w", err)
 	}
-	return model.Value(enc), nil
+	return model.Value(buf), nil
 }
 
 // Apply implements smr.StateMachine.
@@ -147,14 +194,22 @@ func (s *Store) Apply(cmd model.Value) string {
 		// Decode and MAC-check before taking the write lock: verification
 		// is a pure function of the command bytes, and holding every
 		// concurrent reader behind an HMAC per batched command would make
-		// the apply path a read stall.
-		env, err := wire.DecodeCommand(string(cmd))
-		if err != nil || !verify.VerifyCommand(env.Client, env.Seq, []byte(env.Payload), env.MAC) {
+		// the apply path a read stall. A ValueVerifier answers from its
+		// shared verdict cache; otherwise the MAC is recomputed here.
+		client, seq, payload, macStr, err := wire.DecodeCommandParts(string(cmd))
+		if err != nil {
+			return RespUnauthenticated
+		}
+		if vv, ok := verify.(ValueVerifier); ok {
+			if !vv.VerifyValue(cmd) {
+				return RespUnauthenticated
+			}
+		} else if !verify.VerifyCommand(client, seq, []byte(payload), []byte(macStr)) {
 			return RespUnauthenticated
 		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return s.applyAuthLocked(env)
+		return s.applyAuthLocked(client, seq, payload)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -178,11 +233,15 @@ func (s *Store) Apply(cmd model.Value) string {
 func (s *Store) execLocked(op, key, value string) string {
 	switch op {
 	case "SET":
+		if _, ok := s.data[key]; !ok {
+			s.newKeys = append(s.newKeys, key)
+		}
 		s.data[key] = value
 		return "OK"
 	case "DEL":
 		if _, ok := s.data[key]; ok {
 			delete(s.data, key)
+			s.keysResort = true
 			return "OK"
 		}
 		return "NOTFOUND"
@@ -191,31 +250,68 @@ func (s *Store) execLocked(op, key, value string) string {
 	}
 }
 
+// orderedKeysLocked returns every data key in sorted order, maintaining
+// the snapshot key cache: new keys since the last call are sorted and
+// merged in O(n); only a delete or restore forces a full re-sort. Callers
+// hold s.mu (write).
+func (s *Store) orderedKeysLocked() []string {
+	if s.keysResort {
+		s.sortedKeys = s.sortedKeys[:0]
+		for k := range s.data {
+			s.sortedKeys = append(s.sortedKeys, k)
+		}
+		sort.Strings(s.sortedKeys)
+		s.newKeys = s.newKeys[:0]
+		s.keysResort = false
+		return s.sortedKeys
+	}
+	if len(s.newKeys) == 0 {
+		return s.sortedKeys
+	}
+	sort.Strings(s.newKeys)
+	merged := make([]string, 0, len(s.sortedKeys)+len(s.newKeys))
+	i, j := 0, 0
+	for i < len(s.sortedKeys) && j < len(s.newKeys) {
+		if s.sortedKeys[i] <= s.newKeys[j] {
+			merged = append(merged, s.sortedKeys[i])
+			i++
+		} else {
+			merged = append(merged, s.newKeys[j])
+			j++
+		}
+	}
+	merged = append(merged, s.sortedKeys[i:]...)
+	merged = append(merged, s.newKeys[j:]...)
+	s.sortedKeys = merged
+	s.newKeys = s.newKeys[:0]
+	return s.sortedKeys
+}
+
 // applyAuthLocked is the authenticated apply path for an already-verified
 // envelope: (client, seq) dedup through the per-client window, then
 // execution. Everything signed is recorded — even a payload that fails to
 // parse consumes its sequence number, so a garbage command cannot be
 // retried into a different outcome. Callers hold s.mu and have verified
 // the envelope's MAC.
-func (s *Store) applyAuthLocked(env wire.CommandEnvelope) string {
-	st, ok := s.clients[env.Client]
+func (s *Store) applyAuthLocked(client uint32, seq uint64, payload string) string {
+	st, ok := s.clients[client]
 	if !ok {
 		st = wire.NewSeqTracker[string]()
-		s.clients[env.Client] = st
+		s.clients[client] = st
 	}
-	if st.BelowHorizon(env.Seq, s.seqWindow) {
+	if st.BelowHorizon(seq, s.seqWindow) {
 		return RespStale // below the horizon: applied long ago
 	}
-	if resp, done := st.Entries[env.Seq]; done {
+	if resp, done := st.Entries[seq]; done {
 		return resp // duplicate client retry (or a replayed proposal)
 	}
 	var resp string
-	if _, op, key, value, perr := Parse(model.Value(env.Payload)); perr != nil {
+	if _, op, key, value, perr := Parse(model.Value(payload)); perr != nil {
 		resp = "ERR " + perr.Error()
 	} else {
 		resp = s.execLocked(op, key, value)
 	}
-	st.Record(env.Seq, resp, s.seqWindow)
+	st.Record(seq, resp, s.seqWindow)
 	return resp
 }
 
@@ -387,13 +483,10 @@ var ErrBadState = errors.New("kv: malformed state encoding")
 // Replicas with identical applied prefixes encode byte-identical states,
 // so snapshot digests are comparable across the cluster.
 func (s *Store) SnapshotState() []byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	// Write lock, not read: encoding refreshes the sorted-key cache.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := s.orderedKeysLocked()
 	buf := make([]byte, 0, 64)
 	magic := stateMagic
 	if s.verify != nil {
@@ -545,6 +638,7 @@ func (s *Store) RestoreState(data []byte) error {
 	s.applied = newApplied
 	s.appliedOrder = newOrder
 	s.clients = newClients
+	s.keysResort = true // the key cache describes the replaced state
 	if s.appliedLimit > 0 {
 		s.pruneLocked(s.appliedLimit)
 	}

@@ -3,6 +3,7 @@ package smr
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"genconsensus/internal/model"
@@ -50,9 +51,14 @@ func EncodeBatch(cmds []model.Value) (model.Value, error) {
 	if len(cmds) > MaxBatchSize {
 		return model.NoValue, fmt.Errorf("%w: %d commands > %d", ErrBatchTooLarge, len(cmds), MaxBatchSize)
 	}
-	var b strings.Builder
-	b.WriteString(batchMagic)
-	fmt.Fprintf(&b, "%d;", len(cmds))
+	size := len(batchMagic) + 8
+	for _, cmd := range cmds {
+		size += len(cmd) + 8
+	}
+	b := make([]byte, 0, size)
+	b = append(b, batchMagic...)
+	b = strconv.AppendInt(b, int64(len(cmds)), 10)
+	b = append(b, ';')
 	seen := make(map[model.Value]bool, len(cmds))
 	for _, cmd := range cmds {
 		if cmd == model.NoValue || cmd == NoOp || IsBatch(cmd) {
@@ -62,12 +68,14 @@ func EncodeBatch(cmds []model.Value) (model.Value, error) {
 			return model.NoValue, fmt.Errorf("%w: duplicate entry %q", ErrBatchMalformed, cmd)
 		}
 		seen[cmd] = true
-		fmt.Fprintf(&b, "%d:%s", len(cmd), cmd)
+		b = strconv.AppendInt(b, int64(len(cmd)), 10)
+		b = append(b, ':')
+		b = append(b, cmd...)
 	}
-	if b.Len() > MaxBatchBytes {
-		return model.NoValue, fmt.Errorf("%w: %d bytes > %d", ErrBatchTooLarge, b.Len(), MaxBatchBytes)
+	if len(b) > MaxBatchBytes {
+		return model.NoValue, fmt.Errorf("%w: %d bytes > %d", ErrBatchTooLarge, len(b), MaxBatchBytes)
 	}
-	return model.Value(b.String()), nil
+	return model.Value(b), nil
 }
 
 // IsBatch reports whether v carries the batch magic prefix. A true result

@@ -35,6 +35,14 @@ type CommandAuth interface {
 	VerifyCommand(client uint32, seq uint64, payload, mac []byte) bool
 }
 
+// commandAuthStr is an optional CommandAuth extension verifying string
+// payload/MAC without copies (auth.ClientKeyring implements it). identify
+// prefers it: on a cache miss the payload and MAC are substrings of the
+// envelope value and need not be materialized as byte slices.
+type commandAuthStr interface {
+	VerifyCommandStr(client uint32, seq uint64, payload, mac string) bool
+}
+
 // verifyCacheLimit and verifyCacheBytes bound the AuthContext verification
 // cache by entries AND by key bytes: keys are attacker-supplied envelope
 // values (up to ~30 KiB each, and failed verdicts are cached too — the
@@ -54,6 +62,16 @@ type cmdIdent struct {
 	ok     bool
 }
 
+// batchIdents is a cached judgement of one batch value: the per-command
+// identities if every entry verified and identities are pairwise distinct
+// (ok), or a permanently-zero verdict otherwise. Replay status is NOT
+// cached — it changes as commits advance the window — so weighing a cached
+// batch re-checks only window.Seen per identity.
+type batchIdents struct {
+	ids []cmdIdent
+	ok  bool
+}
+
 // AuthContext is one deployment's command-authentication state. It is safe
 // for concurrent use: client handlers, pipelined chooser evaluations and
 // the commit path all consult it.
@@ -63,6 +81,8 @@ type AuthContext struct {
 	mu         sync.Mutex
 	cache      map[model.Value]cmdIdent
 	cacheBytes int // sum of cached key lengths
+	batches    map[model.Value]batchIdents
+	batchBytes int
 	window     *ClientWindow
 }
 
@@ -71,9 +91,10 @@ type AuthContext struct {
 // DefaultSeqWindow.
 func NewAuthContext(auth CommandAuth, windowSize int) *AuthContext {
 	return &AuthContext{
-		auth:   auth,
-		cache:  make(map[model.Value]cmdIdent),
-		window: NewClientWindow(windowSize),
+		auth:    auth,
+		cache:   make(map[model.Value]cmdIdent),
+		batches: make(map[model.Value]batchIdents),
+		window:  NewClientWindow(windowSize),
 	}
 }
 
@@ -90,9 +111,17 @@ func (a *AuthContext) identify(v model.Value) cmdIdent {
 	if ok {
 		return id
 	}
-	env, err := wire.DecodeCommand(string(v))
-	if err == nil && a.auth.VerifyCommand(env.Client, env.Seq, []byte(env.Payload), env.MAC) {
-		id = cmdIdent{client: env.Client, seq: env.Seq, ok: true}
+	client, seq, payload, mac, err := wire.DecodeCommandParts(string(v))
+	if err == nil {
+		verified := false
+		if sa, ok := a.auth.(commandAuthStr); ok {
+			verified = sa.VerifyCommandStr(client, seq, payload, mac)
+		} else {
+			verified = a.auth.VerifyCommand(client, seq, []byte(payload), []byte(mac))
+		}
+		if verified {
+			id = cmdIdent{client: client, seq: seq, ok: true}
+		}
 	}
 	a.mu.Lock()
 	// A racing miss may have inserted v already; re-adding its bytes would
@@ -113,9 +142,96 @@ func (a *AuthContext) identify(v model.Value) cmdIdent {
 	return id
 }
 
+// Preverify records a verification verdict obtained out of band: the
+// caller certifies that v is the canonical encoding of a valid envelope
+// for (client, seq). The session ingress path uses it — after checking a
+// client's cheap session MAC and minting the envelope itself, re-verifying
+// the full command HMAC it just computed would be pure waste. Preverify
+// must never be fed unverified bytes.
+func (a *AuthContext) Preverify(v model.Value, client uint32, seq uint64) {
+	id := cmdIdent{client: client, seq: seq, ok: true}
+	a.mu.Lock()
+	if _, raced := a.cache[v]; !raced {
+		for len(a.cache) > 0 &&
+			(len(a.cache) >= verifyCacheLimit || a.cacheBytes+len(v) > verifyCacheBytes) {
+			for k := range a.cache {
+				delete(a.cache, k)
+				a.cacheBytes -= len(k)
+				break
+			}
+		}
+		a.cache[v] = id
+		a.cacheBytes += len(v)
+	}
+	a.mu.Unlock()
+}
+
+// identifyBatch judges a batch value once — decode, verify every entry,
+// reject duplicate (client, seq) identities — and caches the result by the
+// batch bytes. The chooser weighs the same batch value in every pipelined
+// evaluation; without this cache each evaluation re-decodes the batch and
+// re-hits the per-command cache N times.
+func (a *AuthContext) identifyBatch(v model.Value) batchIdents {
+	a.mu.Lock()
+	bi, ok := a.batches[v]
+	a.mu.Unlock()
+	if ok {
+		return bi
+	}
+	bi = a.judgeBatch(v)
+	a.mu.Lock()
+	if _, raced := a.batches[v]; !raced {
+		for len(a.batches) > 0 &&
+			(len(a.batches) >= verifyCacheLimit || a.batchBytes+len(v) > verifyCacheBytes) {
+			for k := range a.batches {
+				delete(a.batches, k)
+				a.batchBytes -= len(k)
+				break
+			}
+		}
+		a.batches[v] = bi
+		a.batchBytes += len(v)
+	}
+	a.mu.Unlock()
+	return bi
+}
+
+func (a *AuthContext) judgeBatch(v model.Value) batchIdents {
+	cmds, err := DecodeBatch(v)
+	if err != nil {
+		return batchIdents{}
+	}
+	ids := make([]cmdIdent, 0, len(cmds))
+	for _, cmd := range cmds {
+		id := a.identify(cmd)
+		if !id.ok {
+			return batchIdents{}
+		}
+		// Pairwise identity check without a per-evaluation map: batches hold
+		// at most MaxBatchSize entries, so the quadratic scan stays tiny and
+		// allocation-free.
+		for _, prev := range ids {
+			if prev.client == id.client && prev.seq == id.seq {
+				return batchIdents{}
+			}
+		}
+		ids = append(ids, id)
+	}
+	return batchIdents{ids: ids, ok: true}
+}
+
 // VerifyValue reports whether v is a well-formed envelope with a valid MAC.
 func (a *AuthContext) VerifyValue(v model.Value) bool {
 	return a.identify(v).ok
+}
+
+// VerifyCommand delegates to the underlying verifier, so an AuthContext
+// can stand in wherever a bare CommandAuth (or kv.CommandVerifier) is
+// expected — e.g. kv.Store.EnableClientAuth, where passing the context
+// instead of the keyring lets the apply path share the verdict cache
+// through kv.ValueVerifier.
+func (a *AuthContext) VerifyCommand(client uint32, seq uint64, payload, mac []byte) bool {
+	return a.auth.VerifyCommand(client, seq, payload, mac)
 }
 
 // Replayed reports whether v's (client, seq) has already committed. Values
@@ -149,26 +265,15 @@ func authWeight(v model.Value, ax *AuthContext) int {
 		return 0
 	}
 	if IsBatch(v) {
-		cmds, err := DecodeBatch(v)
-		if err != nil {
+		bi := ax.identifyBatch(v)
+		if !bi.ok {
 			return 0
 		}
 		w := 0
-		idents := make(map[[2]uint64]struct{}, len(cmds))
-		for _, cmd := range cmds {
-			id := ax.identify(cmd)
-			if !id.ok {
-				return 0
+		for _, id := range bi.ids {
+			if !ax.window.Seen(id.client, id.seq) {
+				w++
 			}
-			ident := [2]uint64{uint64(id.client), id.seq}
-			if _, dup := idents[ident]; dup {
-				return 0
-			}
-			idents[ident] = struct{}{}
-			if ax.window.Seen(id.client, id.seq) {
-				continue
-			}
-			w++
 		}
 		return w
 	}

@@ -313,7 +313,7 @@ type Replica struct {
 	Log *Log
 
 	mu           sync.Mutex
-	pending      []model.Value
+	pending      []pendingCmd
 	queued       map[model.Value]struct{}
 	queuedIdents map[[2]uint64]struct{} // (client, seq) of queued envelopes (auth mode)
 	maxBatch     int
@@ -321,6 +321,17 @@ type Replica struct {
 	auth         *AuthContext
 	store        storage.Backend
 	storeErr     func(error)
+	scratch      []model.Value // proposal staging, reused under mu
+}
+
+// pendingCmd is one queued command plus the identity Submit verified for it.
+// Caching the identity beside the bytes keeps Commit's queue pruning free of
+// per-entry verification-cache lookups (each of which hashes the full
+// envelope bytes).
+type pendingCmd struct {
+	v     model.Value
+	ident [2]uint64 // (client, seq), valid only when hasID
+	hasID bool
 }
 
 // BatchSizer sizes one proposal from the current queue depth. The
@@ -469,7 +480,7 @@ func (r *Replica) Submit(cmd model.Value) bool {
 		r.queuedIdents[ident] = struct{}{}
 	}
 	r.queued[cmd] = struct{}{}
-	r.pending = append(r.pending, cmd)
+	r.pending = append(r.pending, pendingCmd{v: cmd, ident: ident, hasID: ax != nil})
 	return true
 }
 
@@ -524,16 +535,20 @@ func (r *Replica) ProposalAt(skip, limit int) (model.Value, int) {
 	// command is small (len + 2 separators), so budget on raw bytes first.
 	for ; k > 1; k-- {
 		total := len(batchMagic) + 8
-		for _, cmd := range slice[:k] {
-			total += len(cmd) + 8
+		for _, p := range slice[:k] {
+			total += len(p.v) + 8
 		}
 		if total <= MaxBatchBytes {
 			break
 		}
 	}
-	batch, err := EncodeBatch(slice[:k])
+	r.scratch = r.scratch[:0]
+	for _, p := range slice[:k] {
+		r.scratch = append(r.scratch, p.v)
+	}
+	batch, err := EncodeBatch(r.scratch)
 	if err != nil {
-		return slice[0], 1
+		return slice[0].v, 1
 	}
 	return batch, k
 }
@@ -552,65 +567,83 @@ func (r *Replica) ProposalAt(skip, limit int) (model.Value, int) {
 // ride honest batches into the decided log.
 func (r *Replica) Commit(decided model.Value) []string {
 	cmds := Commands(decided)
-	decidedSet := make(map[model.Value]struct{}, len(cmds))
 	r.mu.Lock()
 	ax := r.auth
+	// Identify the decided commands once; the identities drive both the
+	// queue pruning and the replay-window update below, so no later step
+	// pays another verification-cache lookup per command.
+	var decidedSet map[model.Value]struct{}
+	var decidedIDs []cmdIdent
 	var decidedIdents map[[2]uint64]struct{}
-	for _, cmd := range cmds {
-		decidedSet[cmd] = struct{}{}
-		if ax != nil {
+	if ax != nil {
+		decidedIDs = make([]cmdIdent, len(cmds))
+		decidedIdents = make(map[[2]uint64]struct{}, len(cmds))
+		for i, cmd := range cmds {
+			if cmd == NoOp {
+				continue
+			}
 			if id := ax.identify(cmd); id.ok {
-				if decidedIdents == nil {
-					decidedIdents = make(map[[2]uint64]struct{}, len(cmds))
-				}
+				decidedIDs[i] = id
 				decidedIdents[[2]uint64{uint64(id.client), id.seq}] = struct{}{}
 			}
 		}
+	} else {
+		decidedSet = make(map[model.Value]struct{}, len(cmds))
+		for _, cmd := range cmds {
+			decidedSet[cmd] = struct{}{}
+		}
 	}
 	// One filter pass keeps the commit O(queue) regardless of batch size.
-	// In auth mode the queued-identity index is rebuilt from the survivors
-	// in the same pass.
-	var keptIdents map[[2]uint64]struct{}
-	if ax != nil {
-		keptIdents = make(map[[2]uint64]struct{}, len(r.pending))
-	}
+	// In auth mode pruning is by identity alone, which subsumes pruning by
+	// bytes: byte-identical values share an identity, Submit admits only
+	// verified entries, and a decided value that fails verification can
+	// never share bytes with a verified pending one. Identity pruning also
+	// drops zombies — pending payloads whose (client, seq) just committed
+	// under different bytes, or whose seq fell below the replay horizon.
 	kept := r.pending[:0]
-	for _, pending := range r.pending {
-		if _, ok := decidedSet[pending]; ok {
-			delete(r.queued, pending)
-			continue
-		}
+	for _, p := range r.pending {
+		drop := false
 		if ax != nil {
-			if id := ax.identify(pending); id.ok {
-				ident := [2]uint64{uint64(id.client), id.seq}
-				_, dup := decidedIdents[ident]
-				if dup || ax.window.Seen(id.client, id.seq) {
-					delete(r.queued, pending)
+			ident := p.ident
+			if !p.hasID {
+				// Queued before authentication was enabled (outside the
+				// documented contract); identify lazily rather than misjudge.
+				if id := ax.identify(p.v); id.ok {
+					ident = [2]uint64{uint64(id.client), id.seq}
+				} else {
+					kept = append(kept, p)
 					continue
 				}
-				keptIdents[ident] = struct{}{}
 			}
+			_, dup := decidedIdents[ident]
+			drop = dup || ax.window.Seen(uint32(ident[0]), ident[1])
+			if drop {
+				delete(r.queuedIdents, ident)
+			}
+		} else {
+			_, drop = decidedSet[p.v]
 		}
-		kept = append(kept, pending)
+		if drop {
+			delete(r.queued, p.v)
+			continue
+		}
+		kept = append(kept, p)
 	}
 	r.pending = kept
-	if ax != nil {
-		r.queuedIdents = keptIdents
-	}
 	r.mu.Unlock()
 	r.Log.AppendBatch(cmds)
 	responses := make([]string, 0, len(cmds))
-	for _, cmd := range cmds {
+	for i, cmd := range cmds {
 		if cmd == NoOp {
 			responses = append(responses, "")
 			continue
 		}
 		responses = append(responses, r.SM.Apply(cmd))
-		if ax != nil {
+		if ax != nil && decidedIDs[i].ok {
 			// Commit order defines the replay horizon: from here on the
 			// chooser refuses to weigh this (client, seq) again and Submit
 			// bounces client retries of it.
-			ax.RecordCommitted(cmd)
+			ax.window.Record(decidedIDs[i].client, decidedIDs[i].seq)
 		}
 	}
 	return responses

@@ -68,21 +68,28 @@ const chainTag = "genconsensus/chain/full\n"
 // MaxStateBytes plus slack is hostile.
 const MaxDeltaBytes = MaxStateBytes + 4096
 
-// EncodeCheckpoint serializes a checkpoint deterministically:
+// AppendCheckpoint appends the deterministic serialization of c to dst and
+// returns the extended slice (the repo-wide append codec convention):
 //
 //	enc := magic kind(u8) lastInstance(u64) logIndex(u64) baseInstance(u64)
 //	       chain(32) payloadLen(u32) payload
+func AppendCheckpoint(dst []byte, c *Checkpoint) []byte {
+	dst = append(dst, ckptMagic...)
+	dst = append(dst, byte(c.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, c.LastInstance)
+	dst = binary.BigEndian.AppendUint64(dst, c.LogIndex)
+	dst = binary.BigEndian.AppendUint64(dst, c.BaseInstance)
+	dst = append(dst, c.Chain[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(c.Payload)))
+	dst = append(dst, c.Payload...)
+	return dst
+}
+
+// EncodeCheckpoint serializes a checkpoint into a fresh buffer.
+//
+// Deprecated: use AppendCheckpoint to reuse a caller-owned buffer.
 func EncodeCheckpoint(c *Checkpoint) []byte {
-	buf := make([]byte, 0, len(ckptMagic)+61+len(c.Payload))
-	buf = append(buf, ckptMagic...)
-	buf = append(buf, byte(c.Kind))
-	buf = binary.BigEndian.AppendUint64(buf, c.LastInstance)
-	buf = binary.BigEndian.AppendUint64(buf, c.LogIndex)
-	buf = binary.BigEndian.AppendUint64(buf, c.BaseInstance)
-	buf = append(buf, c.Chain[:]...)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Payload)))
-	buf = append(buf, c.Payload...)
-	return buf
+	return AppendCheckpoint(make([]byte, 0, len(ckptMagic)+61+len(c.Payload)), c)
 }
 
 // DecodeCheckpoint parses an EncodeCheckpoint result, rejecting truncated,

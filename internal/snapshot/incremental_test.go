@@ -126,6 +126,26 @@ func TestIncrementalChainRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendCheckpointExtendsDst pins the append-codec contract for
+// checkpoints: the dst prefix survives and the appended bytes match
+// EncodeCheckpoint exactly.
+func TestAppendCheckpointExtendsDst(t *testing.T) {
+	snaps := chainSnapshots(t, 1)
+	enc := &snapshot.IncrementalEncoder{FullEvery: 4}
+	c := enc.Encode(snaps[0])
+	prefix := []byte("hdr")
+	out := snapshot.AppendCheckpoint(append([]byte(nil), prefix...), c)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("dst prefix clobbered")
+	}
+	if !bytes.Equal(out[len(prefix):], snapshot.EncodeCheckpoint(c)) {
+		t.Fatal("appended bytes differ from EncodeCheckpoint")
+	}
+	if _, err := snapshot.DecodeCheckpoint(out[len(prefix):]); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestIncrementalChainDetectsTampering(t *testing.T) {
 	snaps := chainSnapshots(t, 3)
 	enc := &snapshot.IncrementalEncoder{FullEvery: 8}

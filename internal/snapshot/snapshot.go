@@ -67,19 +67,26 @@ var (
 	ErrTooLarge  = errors.New("snapshot: state exceeds MaxStateBytes")
 )
 
-// Encode serializes a snapshot deterministically:
+// AppendSnapshot appends the deterministic serialization of s to dst and
+// returns the extended slice (the repo-wide append codec convention):
 //
 //	enc := magic lastInstance(u64) logIndex(u64) stateLen(u32) state
 //
 // (big endian). Identical snapshots encode identically everywhere.
+func AppendSnapshot(dst []byte, s *Snapshot) []byte {
+	dst = append(dst, magic...)
+	dst = binary.BigEndian.AppendUint64(dst, s.LastInstance)
+	dst = binary.BigEndian.AppendUint64(dst, s.LogIndex)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.State)))
+	dst = append(dst, s.State...)
+	return dst
+}
+
+// Encode serializes a snapshot into a fresh buffer.
+//
+// Deprecated: use AppendSnapshot to reuse a caller-owned buffer.
 func Encode(s *Snapshot) []byte {
-	buf := make([]byte, 0, len(magic)+20+len(s.State))
-	buf = append(buf, magic...)
-	buf = binary.BigEndian.AppendUint64(buf, s.LastInstance)
-	buf = binary.BigEndian.AppendUint64(buf, s.LogIndex)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.State)))
-	buf = append(buf, s.State...)
-	return buf
+	return AppendSnapshot(make([]byte, 0, len(magic)+20+len(s.State)), s)
 }
 
 // Decode parses an Encode result, rejecting truncated, oversized or

@@ -26,6 +26,28 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendSnapshotExtendsDst pins the append-codec contract: the prefix
+// already in dst is preserved, the appended bytes equal Encode, and a reused
+// buffer round-trips.
+func TestAppendSnapshotExtendsDst(t *testing.T) {
+	s := &Snapshot{LastInstance: 3, LogIndex: 17, State: []byte("payload")}
+	prefix := []byte("framing")
+	out := AppendSnapshot(append([]byte(nil), prefix...), s)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("dst prefix clobbered")
+	}
+	if !bytes.Equal(out[len(prefix):], Encode(s)) {
+		t.Fatal("appended bytes differ from Encode")
+	}
+	got, err := Decode(out[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastInstance != s.LastInstance || !bytes.Equal(got.State, s.State) {
+		t.Fatal("round-trip through reused buffer mismatch")
+	}
+}
+
 func TestEncodeDeterministic(t *testing.T) {
 	s := &Snapshot{LastInstance: 9, LogIndex: 100, State: []byte("state")}
 	if !bytes.Equal(Encode(s), Encode(s)) {

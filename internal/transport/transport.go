@@ -8,19 +8,28 @@
 // round) receive buffers. RunProc drives a round.Proc over one consensus
 // instance: each round it broadcasts the process's messages, collects the
 // round's vector until complete or until the round deadline, and applies
-// the transition. Message integrity and sender authenticity are protected
-// with pairwise HMACs (internal/auth).
+// the transition.
+//
+// Message integrity and sender authenticity are anchored in a per-connection
+// session: peers authenticate once at dial time with a HELLO exchange under
+// the pairwise key (internal/auth) and every subsequent frame carries a
+// cheap truncated session MAC plus a monotonic sequence. Inbound frames are
+// dispatched by frame-family version through a handler registry
+// (RegisterHandler), and outbound frames are coalesced into vectored writes
+// per peer. See session.go for the protocol and buffer-ownership rules.
 //
 // A node supports pipelined SMR: several RunProc calls for distinct
 // instances may run concurrently (receive buffers are per-instance and
-// peer-connection writes are serialized), and ReleaseInstance reclaims the
-// buffers of committed instances so the instance map stays bounded.
+// concurrent sends coalesce on the shared peer link), and ReleaseInstance
+// reclaims the buffers of committed instances so the instance map stays
+// bounded.
 //
 // Lifecycle follows the style guide: Listen spawns the accept and read
 // goroutines; Close signals them and waits for them to exit.
 package transport
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -75,6 +84,21 @@ type Config struct {
 	// maximum-size batches evicts proportionally more (older) entries,
 	// adapting the effective ring depth to the decided values' size.
 	DecisionCacheBytes int
+	// HandshakeTimeout bounds the dial-time HELLO exchange (default 1s). It
+	// is deliberately looser than BaseTimeout: a handshake happens once per
+	// connection, and failing it tears the link down rather than a round.
+	HandshakeTimeout time.Duration
+	// MaxAuthFailures is the per-connection strike budget for recoverable
+	// verification failures — malformed or badly sealed legacy frames from
+	// never-handshaken dialers (default 16). Exceeding it drops the
+	// connection, rate-limiting hostile clients to a bounded amount of MAC
+	// work per dial. Session-frame failures are fatal on the first strike.
+	MaxAuthFailures int
+	// MaxPendingFrames bounds each peer's outbound coalescing queue
+	// (default 4096 frames). When a peer stalls long enough to fill it, new
+	// frames are dropped instead of blocking the pipeline — loss to a peer
+	// that slow is indistinguishable from a partition.
+	MaxPendingFrames int
 }
 
 // Errors returned by the transport.
@@ -90,8 +114,12 @@ var (
 
 // Node is one cluster member's transport endpoint.
 type Node struct {
-	cfg Config
-	ln  net.Listener
+	cfg      Config
+	ln       net.Listener
+	pairKeys []auth.MACKey // pairwise keys, precomputed per peer id
+
+	hmu      sync.RWMutex
+	handlers [256]FrameHandler // inbound dispatch by frame-family version
 
 	mu            sync.Mutex
 	conns         map[model.PID]*peerConn
@@ -105,16 +133,9 @@ type Node struct {
 	decisionLog   []uint64               // ring order for eviction
 	decisionBytes int                    // decided-value bytes held by the ring
 
-	stop chan struct{}
-	wg   sync.WaitGroup
-}
-
-// peerConn pairs an outbound connection with a write lock: concurrent
-// RunProc calls (pipelined instances) share the peer connection, and
-// interleaved WriteFrame calls would corrupt the frame stream.
-type peerConn struct {
-	conn net.Conn
-	wmu  sync.Mutex
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	instAdded chan struct{} // pulsed when a new instance buffer appears
 }
 
 type instanceBuf struct {
@@ -162,6 +183,15 @@ func Listen(cfg Config) (*Node, error) {
 	if cfg.DecisionCacheBytes <= 0 {
 		cfg.DecisionCacheBytes = 4 << 20
 	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = time.Second
+	}
+	if cfg.MaxAuthFailures <= 0 {
+		cfg.MaxAuthFailures = 16
+	}
+	if cfg.MaxPendingFrames <= 0 {
+		cfg.MaxPendingFrames = 4096
+	}
 	addr := cfg.ListenAddr
 	if addr == "" {
 		addr = cfg.Peers[cfg.ID]
@@ -173,12 +203,20 @@ func Listen(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:       cfg,
 		ln:        ln,
+		pairKeys:  make([]auth.MACKey, cfg.N),
 		conns:     make(map[model.PID]*peerConn),
 		inbound:   make(map[net.Conn]struct{}),
 		instances: make(map[uint64]*instanceBuf),
 		decisions: make(map[uint64]model.Value),
 		stop:      make(chan struct{}),
+		instAdded: make(chan struct{}, 1),
 	}
+	// Pairwise keys are fixed for the node's lifetime; deriving them per
+	// frame (a SHA-256 each) was pure waste on the hot path.
+	for p := range n.pairKeys {
+		n.pairKeys[p] = auth.PairKey(cfg.AuthSeed, cfg.ID, model.PID(p))
+	}
+	n.registerBuiltins()
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -243,6 +281,12 @@ func (n *Node) acceptLoop() {
 	}
 }
 
+// readLoop drains one accepted connection, dispatching each frame through
+// the handler registry on its frame-family version byte. Frames are read
+// into one reusable buffer per connection (wire.ReadFrameInto); handlers
+// must not retain the payload past the call. A handler error — protocol
+// violation, downgrade attempt, exhausted strike budget — drops the
+// connection; a frame with no registered handler merely costs a strike.
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -251,39 +295,50 @@ func (n *Node) readLoop(conn net.Conn) {
 		delete(n.inbound, conn)
 		n.mu.Unlock()
 	}()
+	c := &Conn{node: n, conn: conn}
+	// Peers coalesce frames into vectored writes, so one inbound TCP
+	// segment usually carries many frames; reading through a buffer turns
+	// the two read syscalls per frame into two per segment.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
 	for {
 		select {
 		case <-n.stop:
 			return
 		default:
 		}
-		payload, err := wire.ReadFrame(conn)
+		payload, nbuf, err := wire.ReadFrameInto(br, buf)
 		if err != nil {
 			return
 		}
-		if wire.IsSnapPayload(payload) {
-			n.handleSnapFrame(conn, payload)
+		buf = nbuf
+		h := n.handler(wire.PayloadVersion(payload))
+		if h == nil {
+			if c.strike() != nil {
+				return
+			}
 			continue
 		}
-		env, err := wire.Decode(payload)
-		if err != nil {
-			continue // malformed frame: drop, keep the connection
+		if h(c, payload) != nil {
+			return
 		}
-		if !n.authentic(env) {
-			continue
-		}
-		n.deliverLocal(env)
 	}
 }
 
-// authentic verifies the pairwise HMAC, enforcing that the claimed sender
-// holds the key it shares with us (no impersonation, §2.1).
+// pairKey returns the precomputed pairwise key shared with p. Callers
+// bound-check p against cfg.N first.
+func (n *Node) pairKey(p model.PID) auth.MACKey { return n.pairKeys[p] }
+
+// authentic verifies a sealed envelope's pairwise HMAC, enforcing that the
+// claimed sender holds the key it shares with us (no impersonation, §2.1).
+// The session path supersedes it for peer links; it remains the semantic
+// reference for the legacy sealed path (handleEnvelopeFrame is its
+// zero-copy equivalent over the raw frame bytes).
 func (n *Node) authentic(env wire.Envelope) bool {
 	if int(env.Sender) < 0 || int(env.Sender) >= n.cfg.N {
 		return false
 	}
-	key := auth.PairKey(n.cfg.AuthSeed, env.Sender, n.cfg.ID)
-	return auth.CheckMAC(key, wire.VerifyPayload(env), env.Auth)
+	return auth.CheckMAC(n.pairKey(env.Sender), wire.VerifyPayload(env), env.Auth)
 }
 
 // deliverLocal buffers a verified envelope.
@@ -311,6 +366,13 @@ func (n *Node) deliverLocal(env wire.Envelope) {
 	if !ok {
 		buf = newInstanceBuf()
 		n.instances[env.Instance] = buf
+		// Pulse dispatchers waiting to join instances started by peers —
+		// polling HasInstance added milliseconds of join latency per
+		// instance, which dominated pipelined throughput.
+		select {
+		case n.instAdded <- struct{}{}:
+		default:
+		}
 	}
 	// Closed rounds: late messages are useless; far-future rounds are
 	// hostile or confused.
@@ -332,62 +394,30 @@ func (n *Node) deliverLocal(env wire.Envelope) {
 	}
 }
 
-// send transmits one envelope to dst, dialing lazily. Failures are
-// swallowed: an unreachable peer is indistinguishable from a slow one in a
-// partially synchronous system.
+// send transmits one envelope to dst over the peer's session link, dialing
+// and handshaking lazily. The envelope needs no per-destination seal — the
+// connection's session MAC authenticates it. Failures are swallowed: an
+// unreachable peer is indistinguishable from a slow one in a partially
+// synchronous system.
 func (n *Node) send(dst model.PID, env wire.Envelope) {
 	if dst == n.cfg.ID {
 		n.deliverLocal(env)
 		return
 	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	pc := n.connTo(dst)
+	if pc == nil {
 		return
 	}
-	pc, ok := n.conns[dst]
-	addr := n.cfg.Peers[dst]
-	n.mu.Unlock()
-	if !ok {
-		c, err := net.DialTimeout("tcp", addr, n.cfg.BaseTimeout)
-		if err != nil {
-			return
-		}
-		n.mu.Lock()
-		if n.closed {
-			n.mu.Unlock()
-			_ = c.Close()
-			return
-		}
-		if existing, raced := n.conns[dst]; raced {
-			_ = c.Close()
-			pc = existing
-		} else {
-			pc = &peerConn{conn: c}
-			n.conns[dst] = pc
-		}
-		n.mu.Unlock()
-	}
-	payload := wire.Encode(env)
-	// One frame at a time per peer: concurrent instances share the
-	// connection, and a torn frame would desynchronize the whole stream.
-	pc.wmu.Lock()
-	err := wire.WriteFrame(pc.conn, payload)
-	pc.wmu.Unlock()
-	if err != nil {
-		n.mu.Lock()
-		if n.conns[dst] == pc {
-			delete(n.conns, dst)
-		}
-		n.mu.Unlock()
-		_ = pc.conn.Close()
+	if !pc.enqueue(env) {
+		n.forgetConn(pc)
 	}
 }
 
-// seal attaches the pairwise HMAC for dst.
+// seal attaches the pairwise HMAC for dst — the legacy per-frame seal that
+// connection sessions replace. Never-handshaken dialers (and the tests
+// exercising that path) still produce sealed frames.
 func (n *Node) seal(env wire.Envelope, dst model.PID) wire.Envelope {
-	key := auth.PairKey(n.cfg.AuthSeed, n.cfg.ID, dst)
-	env.Auth = auth.MAC(key, wire.VerifyPayload(env))
+	env.Auth = auth.MAC(n.pairKey(dst), wire.VerifyPayload(env))
 	return env
 }
 
@@ -445,12 +475,29 @@ done:
 	return mu.Clone()
 }
 
-// RunProc drives proc over the given instance until it decides, then keeps
-// participating for extraRounds (so that slower peers can decide too), and
+// RunProc drives proc over the given instance until it decides, then blasts
+// extraRounds of helper messages (so that slower peers can decide too) and
 // returns the decision. It returns ErrNoDecision after maxRounds.
+// RunProcNotify additionally reports the decision the moment it is reached.
 func (n *Node) RunProc(instance uint64, proc round.Proc, maxRounds, extraRounds int) (model.Value, error) {
-	decided := model.NoValue
-	remaining := -1
+	return n.RunProcNotify(instance, proc, maxRounds, extraRounds, nil)
+}
+
+// RunProcNotify is RunProc with a decision callback: onDecided (if non-nil)
+// fires on the RunProc goroutine as soon as the process decides, before the
+// function returns. SMR dispatchers use it to commit the decision — and
+// free the commit watermark for the next instance — without waiting out the
+// helper rounds.
+//
+// Helper rounds are blasted, not lock-stepped: once a process has decided,
+// its state is frozen (transitions cannot move a decided estimate, §2.2),
+// so Send for the following rounds is pure and the messages are exactly
+// what a lock-step helper would have produced. Sending rounds r+1..r+extra
+// back-to-back gives a laggard one or two rounds behind everything it needs
+// to decide immediately, while removing extraRounds full collect
+// round-trips from the commit latency of every instance — under a pipelined
+// load those round-trips, not bandwidth, dominate the wall clock.
+func (n *Node) RunProcNotify(instance uint64, proc round.Proc, maxRounds, extraRounds int, onDecided func(model.Value)) (model.Value, error) {
 	for r := model.Round(1); int(r) <= maxRounds; r++ {
 		select {
 		case <-n.stop:
@@ -458,32 +505,28 @@ func (n *Node) RunProc(instance uint64, proc round.Proc, maxRounds, extraRounds 
 		default:
 		}
 		if n.instanceReleased(instance) {
-			if decided != model.NoValue {
-				return decided, nil
-			}
 			return model.NoValue, ErrInstanceReleased
 		}
 		out := proc.Send(r)
 		for dst, msg := range out {
-			env := wire.Envelope{Instance: instance, Round: r, Sender: n.cfg.ID, Msg: msg}
-			n.send(dst, n.seal(env, dst))
+			// No per-destination seal: the session link MACs the frame.
+			n.send(dst, wire.Envelope{Instance: instance, Round: r, Sender: n.cfg.ID, Msg: msg})
 		}
 		deadline := time.Now().Add(n.cfg.BaseTimeout + time.Duration(r)*n.cfg.TimeoutGrowth)
 		mu := n.collect(instance, r, deadline)
 		proc.Transition(r, mu)
-		if v, ok := proc.Decided(); ok && decided == model.NoValue {
-			decided = v
-			remaining = extraRounds
+		if v, ok := proc.Decided(); ok {
+			for i := 1; i <= extraRounds; i++ {
+				hr := r + model.Round(i)
+				for dst, msg := range proc.Send(hr) {
+					n.send(dst, wire.Envelope{Instance: instance, Round: hr, Sender: n.cfg.ID, Msg: msg})
+				}
+			}
+			if onDecided != nil {
+				onDecided(v)
+			}
+			return v, nil
 		}
-		if remaining > 0 {
-			remaining--
-		}
-		if remaining == 0 {
-			return decided, nil
-		}
-	}
-	if decided != model.NoValue {
-		return decided, nil
 	}
 	return model.NoValue, ErrNoDecision
 }
@@ -525,6 +568,13 @@ func (n *Node) ReleaseInstance(instance uint64) {
 		}
 	}
 }
+
+// InstanceNotify returns a channel pulsed whenever a message for a
+// previously unseen instance is buffered. SMR dispatchers select on it to
+// join peer-started instances immediately instead of polling HasInstance.
+// The channel has capacity 1 and is never closed; a pulse may cover
+// several new instances, so consumers re-scan after each receive.
+func (n *Node) InstanceNotify() <-chan struct{} { return n.instAdded }
 
 // InstanceCount reports how many instances currently hold receive buffers
 // (monitoring and leak tests).

@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -75,8 +76,19 @@ var (
 // can pre-check without encoding.
 func EncodedCommandSize(client uint32, seq uint64, payloadLen int) int {
 	return len(cmdMagic) +
-		len(fmt.Sprintf("%d;%d;%d:", client, seq, payloadLen)) +
+		decimalWidth(uint64(client)) + 1 + decimalWidth(seq) + 1 +
+		decimalWidth(uint64(payloadLen)) + 1 +
 		payloadLen + CommandMACSize
+}
+
+// decimalWidth is the ASCII width of v in canonical decimal.
+func decimalWidth(v uint64) int {
+	n := 1
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
 }
 
 // IsCommand reports whether v carries the command-envelope magic prefix. A
@@ -86,26 +98,46 @@ func IsCommand(v string) bool {
 	return strings.HasPrefix(v, cmdMagic)
 }
 
+// AppendCommand serializes an envelope onto dst (same validation as
+// EncodeCommand) without the intermediate string allocation.
+func AppendCommand(dst []byte, env CommandEnvelope) ([]byte, error) {
+	return AppendCommandBytes(dst, env.Client, env.Seq, env.Payload, env.MAC)
+}
+
+// AppendCommandBytes is AppendCommand over loose fields; payload may be a
+// string or byte slice, so builders that assemble the payload in a byte
+// buffer skip the string conversion.
+func AppendCommandBytes[P ~string | ~[]byte](dst []byte, client uint32, seq uint64, payload P, mac []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return dst, fmt.Errorf("%w: empty payload", ErrCommandMalformed)
+	}
+	if len(payload) > MaxCommandPayloadBytes {
+		return dst, fmt.Errorf("%w: %d bytes", ErrCommandTooLarge, len(payload))
+	}
+	if len(mac) != CommandMACSize {
+		return dst, fmt.Errorf("%w: MAC is %d bytes, want %d", ErrCommandMalformed, len(mac), CommandMACSize)
+	}
+	dst = append(dst, cmdMagic...)
+	dst = strconv.AppendUint(dst, uint64(client), 10)
+	dst = append(dst, ';')
+	dst = strconv.AppendUint(dst, seq, 10)
+	dst = append(dst, ';')
+	dst = strconv.AppendUint(dst, uint64(len(payload)), 10)
+	dst = append(dst, ':')
+	dst = append(dst, payload...)
+	return append(dst, mac...), nil
+}
+
 // EncodeCommand serializes an envelope. The payload must be non-empty and
 // within MaxCommandPayloadBytes; the MAC must be exactly CommandMACSize
 // bytes (the codec carries authenticators, it does not compute them).
 func EncodeCommand(env CommandEnvelope) (string, error) {
-	if env.Payload == "" {
-		return "", fmt.Errorf("%w: empty payload", ErrCommandMalformed)
+	buf := make([]byte, 0, EncodedCommandSize(env.Client, env.Seq, len(env.Payload)))
+	buf, err := AppendCommand(buf, env)
+	if err != nil {
+		return "", err
 	}
-	if len(env.Payload) > MaxCommandPayloadBytes {
-		return "", fmt.Errorf("%w: %d bytes", ErrCommandTooLarge, len(env.Payload))
-	}
-	if len(env.MAC) != CommandMACSize {
-		return "", fmt.Errorf("%w: MAC is %d bytes, want %d", ErrCommandMalformed, len(env.MAC), CommandMACSize)
-	}
-	var b strings.Builder
-	b.Grow(EncodedCommandSize(env.Client, env.Seq, len(env.Payload)))
-	b.WriteString(cmdMagic)
-	fmt.Fprintf(&b, "%d;%d;%d:", env.Client, env.Seq, len(env.Payload))
-	b.WriteString(env.Payload)
-	b.Write(env.MAC)
-	return b.String(), nil
+	return string(buf), nil
 }
 
 // DecodeCommand strictly parses an encoded envelope: canonical decimal
@@ -115,36 +147,49 @@ func EncodeCommand(env CommandEnvelope) (string, error) {
 // authenticated command — verification layers treat it as fabricated.
 func DecodeCommand(v string) (CommandEnvelope, error) {
 	var env CommandEnvelope
+	client, seq, payload, mac, err := DecodeCommandParts(v)
+	if err != nil {
+		return env, err
+	}
+	env.Client = client
+	env.Seq = seq
+	env.Payload = payload
+	env.MAC = []byte(mac)
+	return env, nil
+}
+
+// DecodeCommandParts is the zero-copy variant of DecodeCommand: identical
+// validation, but payload and mac are returned as substrings of v, so
+// nothing is allocated. Hot paths that hold the value string anyway
+// (verdict-cache lookups, the apply path) use it to avoid the per-call MAC
+// copy.
+func DecodeCommandParts(v string) (client uint32, seq uint64, payload, mac string, err error) {
 	if !strings.HasPrefix(v, cmdMagic) {
-		return env, fmt.Errorf("%w: missing magic", ErrCommandMalformed)
+		return 0, 0, "", "", fmt.Errorf("%w: missing magic", ErrCommandMalformed)
 	}
 	rest := v[len(cmdMagic):]
-	client, rest, err := parseUint(rest, ';')
+	c, rest, err := parseUint(rest, ';')
 	if err != nil {
-		return env, err
+		return 0, 0, "", "", err
 	}
-	if client > 1<<32-1 {
-		return env, fmt.Errorf("%w: client id overflow", ErrCommandMalformed)
+	if c > 1<<32-1 {
+		return 0, 0, "", "", fmt.Errorf("%w: client id overflow", ErrCommandMalformed)
 	}
-	seq, rest, err := parseUint(rest, ';')
+	seq, rest, err = parseUint(rest, ';')
 	if err != nil {
-		return env, err
+		return 0, 0, "", "", err
 	}
 	plen, rest, err := parseUint(rest, ':')
 	if err != nil {
-		return env, err
+		return 0, 0, "", "", err
 	}
 	if plen == 0 || plen > MaxCommandPayloadBytes {
-		return env, fmt.Errorf("%w: payload length %d", ErrCommandTooLarge, plen)
+		return 0, 0, "", "", fmt.Errorf("%w: payload length %d", ErrCommandTooLarge, plen)
 	}
 	if uint64(len(rest)) != plen+CommandMACSize {
-		return env, fmt.Errorf("%w: %d bytes after header, want %d", ErrCommandMalformed, len(rest), plen+CommandMACSize)
+		return 0, 0, "", "", fmt.Errorf("%w: %d bytes after header, want %d", ErrCommandMalformed, len(rest), plen+CommandMACSize)
 	}
-	env.Client = uint32(client)
-	env.Seq = seq
-	env.Payload = rest[:plen]
-	env.MAC = []byte(rest[plen:])
-	return env, nil
+	return uint32(c), seq, rest[:plen], rest[plen:], nil
 }
 
 // SeqTracker is one client's sliding sequence horizon: the highest

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -71,13 +72,13 @@ func IsSnapPayload(payload []byte) bool {
 	return len(payload) > 0 && payload[0] == SnapVersion
 }
 
-// EncodeSnap serializes a state-transfer envelope:
+// AppendSnap serializes a state-transfer envelope onto dst:
 //
 //	payload := SnapVersion(u8) kind(u8) sender(u32) lastInstance(u64)
 //	           logIndex(u64) digestLen(u16) digest chunkIndex(u32)
 //	           chunkCount(u32) dataLen(u32) data authLen(u16) auth
-func EncodeSnap(env SnapEnvelope) []byte {
-	w := &writer{buf: make([]byte, 0, 64+len(env.Data))}
+func AppendSnap(dst []byte, env SnapEnvelope) []byte {
+	w := &writer{buf: dst}
 	w.u8(SnapVersion)
 	w.u8(uint8(env.Kind))
 	w.u32(uint32(env.Sender))
@@ -92,6 +93,26 @@ func EncodeSnap(env SnapEnvelope) []byte {
 	w.u16(uint16(len(env.Auth)))
 	w.buf = append(w.buf, env.Auth...)
 	return w.buf
+}
+
+// AppendSignedSnap serializes the envelope in a single pass, calling sign
+// on exactly the covered byte range and appending the authenticator,
+// mirroring AppendSignedEnvelope.
+func AppendSignedSnap(dst []byte, env SnapEnvelope, sign func(payload []byte) []byte) []byte {
+	env.Auth = nil
+	start := len(dst)
+	dst = AppendSnap(dst, env)
+	dst = dst[:len(dst)-2] // drop the empty authLen
+	mac := sign(dst[start:])
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(mac)))
+	return append(dst, mac...)
+}
+
+// EncodeSnap serializes a state-transfer envelope.
+//
+// Deprecated: use AppendSnap with a caller-owned (ideally pooled) buffer.
+func EncodeSnap(env SnapEnvelope) []byte {
+	return AppendSnap(make([]byte, 0, 64+len(env.Data)), env)
 }
 
 // DecodeSnap parses an EncodeSnap payload.

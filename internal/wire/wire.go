@@ -3,7 +3,16 @@
 // the round message tuple, with an optional trailing authenticator. The TCP
 // runtime (internal/transport) and the WIC relay protocols use it.
 //
-// Layout (big endian):
+// # Frame families (wire protocol v3)
+//
+// Every payload's first byte discriminates its family:
+//
+//	1  consensus envelope (this file)
+//	2  state transfer (snap.go)
+//	3  HELLO handshake (session.go)
+//	4  session-wrapped frame (session.go)
+//
+// Envelope layout (big endian):
 //
 //	frame   := len(u32) payload
 //	payload := version(u8) instance(u64) round(u64) sender(u32) kind(u8)
@@ -12,6 +21,28 @@
 //	           selLen(u16) {pid(u32)}*
 //	           authLen(u16) auth-bytes
 //	str     := len(u16) bytes
+//
+// # Append-style API and buffer ownership
+//
+// All encoders follow the Append*(dst []byte, ...) []byte convention: they
+// append onto a caller-owned buffer and return the extended slice, so the
+// hot path encodes straight into pooled frame buffers with zero
+// intermediate allocation. The legacy Encode*/EncodeSigned entry points
+// remain as thin allocating wrappers.
+//
+// Pooled-buffer ownership rules:
+//
+//   - GetFrame hands out an empty buffer; whoever eventually calls
+//     PutFrame owns it. Ownership transfers exactly once — typically from
+//     the encoder to the transport's per-peer write queue, which recycles
+//     the buffer after the vectored write completes.
+//   - A buffer handed to PutFrame must never be touched again.
+//   - Decoded envelopes copy every field they keep (strings, MACs), so a
+//     read loop may reuse one receive buffer across frames
+//     (ReadFrameInto) — nothing decoded aliases it after Decode returns.
+//   - SplitSealed and SplitSessionFrame return subslices ALIASING the
+//     input payload; callers verify and decode before the next frame
+//     overwrites the buffer.
 package wire
 
 import (
@@ -19,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"genconsensus/internal/model"
 )
@@ -29,6 +61,56 @@ const Version = 1
 // MaxFrameSize bounds accepted frames (1 MiB), protecting receivers from
 // hostile length prefixes.
 const MaxFrameSize = 1 << 20
+
+// FrameHeaderSize is the length prefix preceding every payload on a stream.
+const FrameHeaderSize = 4
+
+// framePool recycles frame assembly buffers across the send hot path:
+// encode-into-pooled-buffer, hand the buffer to the transport writer,
+// return it after the vectored write completes. Buffers start at 512 bytes
+// and grow to their high-water mark; oversized one-off buffers (snapshot
+// chunks) are dropped rather than pinned.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// GetFrame returns an empty pooled buffer for frame assembly.
+func GetFrame() []byte {
+	return (*framePool.Get().(*[]byte))[:0]
+}
+
+// PutFrame recycles a frame buffer obtained from GetFrame. The caller must
+// not touch the slice afterwards (buffer ownership transfers back to the
+// pool).
+func PutFrame(buf []byte) {
+	if cap(buf) > MaxFrameSize/4 {
+		return // one-off giant (snapshot chunk): let the GC have it
+	}
+	buf = buf[:0]
+	framePool.Put(&buf)
+}
+
+// BeginFrame reserves the length prefix at the start of a frame buffer.
+// Append the payload after it, then seal with FinishFrame; the completed
+// buffer is written to the stream as a single contiguous chunk (no separate
+// header write, no payload copy).
+func BeginFrame(dst []byte) []byte {
+	return append(dst, 0, 0, 0, 0)
+}
+
+// FinishFrame fills in the length prefix reserved by BeginFrame.
+func FinishFrame(buf []byte) ([]byte, error) {
+	if len(buf) < FrameHeaderSize {
+		return nil, ErrTruncated
+	}
+	n := len(buf) - FrameHeaderSize
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(buf[:FrameHeaderSize], uint32(n))
+	return buf, nil
+}
 
 // Envelope wraps a round message with its routing metadata.
 type Envelope struct {
@@ -231,9 +313,11 @@ func decodeMessage(r *reader, depth int) model.Message {
 	return m
 }
 
-// Encode serializes the envelope payload (without the frame length prefix).
-func Encode(env Envelope) []byte {
-	w := &writer{buf: make([]byte, 0, 64)}
+// AppendEnvelope serializes the envelope payload (without the frame length
+// prefix) onto dst and returns the extended slice. This is the primary
+// codec entry point; Encode is a thin allocation wrapper around it.
+func AppendEnvelope(dst []byte, env Envelope) []byte {
+	w := &writer{buf: dst}
 	w.u8(Version)
 	w.u64(env.Instance)
 	w.u64(uint64(env.Round))
@@ -244,13 +328,49 @@ func Encode(env Envelope) []byte {
 	return w.buf
 }
 
+// AppendSignedEnvelope serializes the envelope in a single pass: the
+// unauthenticated encoding is appended onto dst, sign is called on exactly
+// the bytes an authenticator must cover (everything before the trailing
+// authLen field), and the authenticator is appended. Unlike the legacy
+// EncodeSigned this never encodes twice and never allocates an
+// intermediate payload.
+func AppendSignedEnvelope(dst []byte, env Envelope, sign func(payload []byte) []byte) []byte {
+	env.Auth = nil
+	start := len(dst)
+	dst = AppendEnvelope(dst, env)
+	dst = dst[:len(dst)-2] // drop the empty authLen; covered = dst[start:]
+	mac := sign(dst[start:])
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(mac)))
+	return append(dst, mac...)
+}
+
+// Encode serializes the envelope payload (without the frame length prefix).
+//
+// Deprecated: use AppendEnvelope with a caller-owned (ideally pooled)
+// buffer; Encode allocates per call.
+func Encode(env Envelope) []byte {
+	return AppendEnvelope(make([]byte, 0, 64), env)
+}
+
 // EncodeSigned serializes the envelope, calling sign on the unauthenticated
 // payload to produce the trailing authenticator.
+//
+// Deprecated: use AppendSignedEnvelope; EncodeSigned allocates per call.
 func EncodeSigned(env Envelope, sign func(payload []byte) []byte) []byte {
-	env.Auth = nil
-	unauth := Encode(env)
-	env.Auth = sign(unauth[:len(unauth)-2]) // strip the empty authLen
-	return Encode(env)
+	return AppendSignedEnvelope(make([]byte, 0, 96), env, sign)
+}
+
+// PeekInstance reads the instance number of an encoded envelope payload
+// without decoding it. Transports use it as a pre-decode drop filter:
+// helper-round traffic for an instance the local commit already released
+// is the common case under pipelined load, and discarding it by peeking
+// nine bytes skips the full Decode (and its message-map allocations).
+// It is safe on hostile input — a short or foreign payload reports false.
+func PeekInstance(payload []byte) (uint64, bool) {
+	if len(payload) < 9 || payload[0] != Version {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(payload[1:9]), true
 }
 
 // Decode parses a payload produced by Encode.
@@ -279,13 +399,44 @@ func Decode(payload []byte) (Envelope, error) {
 
 // VerifyPayload returns the byte range an authenticator must cover for a
 // decoded envelope: re-encode without Auth and strip the empty length.
+//
+// Deprecated: when the raw received payload is still at hand, use
+// SplitSealed — it locates the covered range in place without
+// re-encoding.
 func VerifyPayload(env Envelope) []byte {
 	env.Auth = nil
 	unauth := Encode(env)
 	return unauth[:len(unauth)-2]
 }
 
+// SealedMACSize is the length of the trailing HMAC-SHA256 authenticator on
+// a sealed frame (consensus envelope or state-transfer frame alike).
+const SealedMACSize = 32
+
+// SplitSealed splits a raw received payload that ends in a full-size
+// 32-byte authenticator into the covered range and the MAC, without
+// decoding or re-encoding anything. The authenticator is the trailing
+// field of both the envelope and the snap layouts (authLen u16, then auth
+// bytes), so for any legitimately sealed frame the u16 at len-34 reads 32.
+// Returns ok=false for frames without a full-size trailing MAC; callers
+// must treat that as an authentication failure on links that require
+// seals.
+func SplitSealed(payload []byte) (covered, mac []byte, ok bool) {
+	n := len(payload)
+	if n < SealedMACSize+2 {
+		return nil, nil, false
+	}
+	if binary.BigEndian.Uint16(payload[n-SealedMACSize-2:]) != SealedMACSize {
+		return nil, nil, false
+	}
+	return payload[:n-SealedMACSize-2], payload[n-SealedMACSize:], true
+}
+
 // WriteFrame writes a length-prefixed payload to w.
+//
+// Deprecated: WriteFrame issues two Write calls (header, then payload);
+// assemble frames with BeginFrame/FinishFrame into one buffer instead and
+// write (or writev) the buffer whole.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
@@ -316,4 +467,28 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
 	}
 	return payload, nil
+}
+
+// ReadFrameInto reads one length-prefixed payload from r into buf,
+// growing it if needed, and returns the payload slice aliasing buf. The
+// returned slice is only valid until the next call with the same buffer;
+// read loops reuse one buffer across frames instead of allocating per
+// frame, and copy out only the fields that outlive the frame.
+func ReadFrameInto(r io.Reader, buf []byte) (payload, newBuf []byte, err error) {
+	var hdr [FrameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxFrameSize {
+		return nil, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:cap(buf)]
+	if _, err := io.ReadFull(r, buf[:n]); err != nil {
+		return nil, buf, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return buf[:n], buf, nil
 }
