@@ -37,6 +37,16 @@
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 get color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 del color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 loglen
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200 shards
+//
+// Against a sharded cluster (kvnode -shards S) nothing changes client-side
+// for correctness: every replica hosts all S consensus groups and routes
+// each write to the group owning its key (the same deterministic hash,
+// wire.GroupForKey), so CMD/ACMD/SCMD lines work unchanged and a batch
+// whose keys span groups is simply decided by several groups concurrently.
+// The `shards` subcommand reports S for clients that want to partition
+// their own load; connections pinned with the USE verb receive
+// "ERR wrongshard <g>" redirects instead of silent misroutes (docs/SHARD.md).
 package main
 
 import (
@@ -113,7 +123,7 @@ func main() {
 	addrs := strings.Split(*nodes, ",")
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("usage: kvctl [-nodes ...] [-auth] set <k> <v> | mset <k> <v> [<k> <v> ...] | del <k> | get <k> | loglen")
+		fail("usage: kvctl [-nodes ...] [-auth] set <k> <v> | mset <k> <v> [<k> <v> ...] | del <k> | get <k> | loglen | shards")
 	}
 	if *authMode && *sessMode {
 		fail("-auth and -session are mutually exclusive (a session replaces per-command signing)")
@@ -191,6 +201,8 @@ func main() {
 		fmt.Println(request(addrs[0], "GET "+args[1]))
 	case "loglen":
 		fmt.Println(request(addrs[0], "LOGLEN"))
+	case "shards":
+		fmt.Println(request(addrs[0], "SHARDS"))
 	case "set":
 		if len(args) != 3 {
 			fail("usage: set <key> <value>")
@@ -284,11 +296,14 @@ func sessionBroadcast(addrs []string, ckey auth.MACKey, client uint32, firstSeq 
 			fmt.Fprintf(os.Stderr, "kvctl: %s: %v\n", addr, err)
 			continue
 		}
+		// Midstate-cached tagging: the session key is fixed per connection,
+		// so the HMAC key blocks are hashed once for the whole batch.
+		macer := auth.NewSessionMACer(skey)
 		var b strings.Builder
 		for i, o := range ops {
 			seq := firstSeq + uint64(i)
 			payload := kv.AuthPayload(client, seq, o.op, o.key, o.value)
-			tag := auth.SessionMAC(nil, skey, seq, []byte(payload))
+			tag := macer.Append(nil, seq, []byte(payload))
 			fmt.Fprintf(&b, "SCMD %d %s %s %s", seq, hex.EncodeToString(tag), o.op, o.key)
 			if o.op == "SET" {
 				b.WriteString(" " + o.value)

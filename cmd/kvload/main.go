@@ -38,15 +38,18 @@ import (
 	"genconsensus/internal/model"
 	"genconsensus/internal/node"
 	"genconsensus/internal/snapshot"
+	"genconsensus/internal/wire"
 )
 
 func main() {
 	var (
 		n         = flag.Int("n", 4, "cluster size")
 		b         = flag.Int("b", 1, "Byzantine fault tolerance")
+		f         = flag.Int("f", 0, "benign crash tolerance (0 = PBFT, >0 = class-3 generic)")
 		cmds      = flag.Int("cmds", 128, "commands per run")
 		batch     = flag.Int("batch", 16, "max commands per instance")
 		depths    = flag.String("depths", "1,2,4,8", "comma-separated pipeline depths to sweep")
+		shards    = flag.String("shards", "", "comma-separated shard counts to sweep (e.g. 1,2,4); empty = unsharded depth sweep")
 		snapEvery = flag.Uint64("snapshot-interval", 4, "checkpoint interval (0 disables)")
 		authMode  = flag.Bool("auth", false, "drive signed client load (authenticated command envelopes)")
 		session   = flag.Bool("session", false, "drive session client load (SHELLO handshake + SCMD writes); implies -auth clusters")
@@ -106,6 +109,52 @@ func main() {
 	case *authMode:
 		name = "BenchmarkTCPKVLoadAuth"
 	}
+
+	if *shards != "" {
+		// Shard sweep: fixed pipeline depth per group (the first -depths
+		// entry), shard count S varied. Emits one line per S plus a derived
+		// scaling line (max S over S=1) that CI gates on directly.
+		depth, err := strconv.Atoi(strings.TrimSpace(strings.Split(*depths, ",")[0]))
+		if err != nil || depth < 1 {
+			log.Fatalf("kvload: bad depth %q", *depths)
+		}
+		name = strings.Replace(name, "BenchmarkTCPKVLoad", "BenchmarkTCPKVLoadShard", 1)
+		perSec := map[int]float64{}
+		var sweep []int
+		for _, field := range strings.Split(*shards, ",") {
+			s, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || s < 1 {
+				log.Fatalf("kvload: bad shard count %q", field)
+			}
+			var elapsed time.Duration
+			var snapBytes int
+			for rep := 0; rep < *reps || rep == 0; rep++ {
+				e, sb, err := run(*n, *b, *f, depth, *batch, s, *cmds, *snapEvery, *authMode || *session, *session, *timeout)
+				if err != nil {
+					log.Fatalf("kvload: S=%d: %v", s, err)
+				}
+				if rep == 0 || e < elapsed {
+					elapsed, snapBytes = e, sb
+				}
+			}
+			perSec[s] = float64(*cmds) / elapsed.Seconds()
+			sweep = append(sweep, s)
+			fmt.Printf("%s/S=%d \t       1\t%12d ns/op\t%12.1f cmds/sec\t%12d snapshot-bytes\n",
+				name, s, elapsed.Nanoseconds(), perSec[s], snapBytes)
+		}
+		maxS := sweep[0]
+		for _, s := range sweep {
+			if s > maxS {
+				maxS = s
+			}
+		}
+		if base, ok := perSec[1]; ok && maxS > 1 {
+			fmt.Printf("%sScaling/S=%dv1 \t       1\t%12d ns/op\t%12.2f scale-x\n",
+				name, maxS, int64(1), perSec[maxS]/base)
+		}
+		return
+	}
+
 	for _, field := range strings.Split(*depths, ",") {
 		depth, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil || depth < 1 {
@@ -114,7 +163,7 @@ func main() {
 		var elapsed time.Duration
 		var snapBytes int
 		for rep := 0; rep < *reps || rep == 0; rep++ {
-			e, sb, err := run(*n, *b, depth, *batch, *cmds, *snapEvery, *authMode || *session, *session, *timeout)
+			e, sb, err := run(*n, *b, *f, depth, *batch, 1, *cmds, *snapEvery, *authMode || *session, *session, *timeout)
 			if err != nil {
 				log.Fatalf("kvload: W=%d: %v", depth, err)
 			}
@@ -136,7 +185,7 @@ func main() {
 // In session mode the client authenticates each connection once (SHELLO)
 // and writes carry only the truncated session tag (the kvctl -session
 // shape), measuring the amortized-auth wire path.
-func run(n, b, depth, batch, cmds int, snapEvery uint64, authMode, sessionMode bool, timeout time.Duration) (time.Duration, int, error) {
+func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, sessionMode bool, timeout time.Duration) (time.Duration, int, error) {
 	nodes := make([]*node.Node, n)
 	peers := make(map[model.PID]string, n)
 	defer func() {
@@ -148,12 +197,13 @@ func run(n, b, depth, batch, cmds int, snapEvery uint64, authMode, sessionMode b
 	}()
 	for i := 0; i < n; i++ {
 		nd, err := node.New(node.Config{
-			ID: model.PID(i), N: n, B: b,
+			ID: model.PID(i), N: n, B: b, F: f,
 			ListenAddr:       "127.0.0.1:0",
 			ClientAddr:       "127.0.0.1:0",
 			AuthSeed:         7,
 			MaxBatch:         batch,
 			Pipeline:         depth,
+			Shards:           shards,
 			SnapshotInterval: snapEvery,
 			AppliedKeep:      4096,
 			ClientAuth:       authMode,
@@ -236,17 +286,24 @@ func run(n, b, depth, batch, cmds int, snapEvery uint64, authMode, sessionMode b
 			break
 		}
 		if time.Now().After(deadline) {
-			return 0, 0, fmt.Errorf("timed out: %d/%d keys on node 0",
-				nodes[0].Replica().SM.(*kv.Store).Len(), cmds)
+			have := 0
+			for _, store := range nodes[0].GroupStores() {
+				if store != nil {
+					have += store.Len()
+				}
+			}
+			return 0, 0, fmt.Errorf("timed out: %d/%d keys on node 0", have, cmds)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
 	elapsed := time.Since(start)
 
 	snapBytes := 0
-	if mgr := nodes[0].Manager(); mgr != nil {
-		if snap, _, ok := mgr.Latest(); ok {
-			snapBytes = len(snapshot.Encode(snap))
+	for g := 0; g < nodes[0].Shards(); g++ {
+		if mgr := nodes[0].GroupManager(wire.GroupID(g)); mgr != nil {
+			if snap, _, ok := mgr.Latest(); ok {
+				snapBytes += len(snapshot.Encode(snap))
+			}
 		}
 	}
 	return elapsed, snapBytes, nil
@@ -288,12 +345,16 @@ func driveSession(conn net.Conn, cmds int) error {
 		return fmt.Errorf("session ack rejected")
 	}
 	skey := auth.ClientSessionKey(key, client, nonce[:], serverNonce)
+	// Midstate-cached tagging (auth.SessionMACer): the session key is fixed
+	// for the connection, so the HMAC key blocks are hashed once, not per
+	// line — the same optimization the node applies on its verify side.
+	macer := auth.NewSessionMACer(skey)
 
 	var buf strings.Builder
 	for i := 0; i < cmds; i++ {
 		seq := uint64(i + 1)
 		payload := kv.AuthPayload(client, seq, "SET", fmt.Sprintf("lk-%d", i), fmt.Sprintf("lv-%d", i))
-		tag := auth.SessionMAC(nil, skey, seq, []byte(payload))
+		tag := macer.Append(nil, seq, []byte(payload))
 		fmt.Fprintf(&buf, "SCMD %d %s SET lk-%d lv-%d\n", seq, hex.EncodeToString(tag), i, i)
 	}
 	if _, err := io.WriteString(conn, buf.String()); err != nil {
@@ -313,11 +374,18 @@ func driveSession(conn net.Conn, cmds int) error {
 	return nil
 }
 
-// allApplied reports whether every replica's store holds every key.
+// allApplied reports whether every replica holds every key, summing over
+// the replica's shard stores (keys are unique, so the groups' store sizes
+// add up to exactly the command count when the load has fully applied).
 func allApplied(nodes []*node.Node, cmds int) bool {
 	for _, nd := range nodes {
-		store := nd.Replica().SM.(*kv.Store)
-		if store.Len() < cmds {
+		total := 0
+		for _, store := range nd.GroupStores() {
+			if store != nil {
+				total += store.Len()
+			}
+		}
+		if total < cmds {
 			return false
 		}
 	}

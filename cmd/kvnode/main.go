@@ -9,6 +9,12 @@
 // and -adaptive-batch sizes proposals from queue depth and observed
 // latency.
 //
+// With -shards S > 1 the node partitions the keyspace across S independent
+// consensus groups on the same replica set — each group its own pipeline,
+// commit queue, WAL directory and snapshot chain — and routes every write
+// to the group owning its key (see docs/SHARD.md). All replicas and
+// sharding-aware clients must agree on S.
+//
 // With -snapshot-interval K > 0 the node checkpoints its state machine
 // every K committed instances, truncates its log below the checkpoint
 // (bounded memory), serves the checkpoint to recovering peers over the
@@ -72,8 +78,9 @@ func main() {
 		peersFlag  = flag.String("peers", "", "comma-separated consensus addresses, in pid order")
 		authSeed   = flag.Int64("auth-seed", 42, "cluster authentication seed (must match on all nodes)")
 		maxBatch   = flag.Int("max-batch", smr.MaxBatchSize, "max commands decided per consensus instance")
-		pipeline   = flag.Int("pipeline", 4, "max concurrent consensus instances (1 = serial)")
+		pipeline   = flag.Int("pipeline", 4, "max concurrent consensus instances per group (1 = serial)")
 		adaptive   = flag.Bool("adaptive-batch", true, "size batches from queue depth and observed instance latency")
+		shards     = flag.Int("shards", 1, "independent consensus groups partitioning the keyspace (must match on all nodes)")
 		snapEvery  = flag.Uint64("snapshot-interval", 1024, "checkpoint every K committed instances (0 disables snapshots and recovery)")
 		keep       = flag.Int("applied-keep", 1<<16, "dedup-table entries kept at each checkpoint (0 = unbounded)")
 		dataDir    = flag.String("data-dir", "", "durable storage directory (WAL + checkpoints; empty = memory-only)")
@@ -105,6 +112,7 @@ func main() {
 		MaxBatch:          *maxBatch,
 		Pipeline:          *pipeline,
 		Adaptive:          *adaptive,
+		Shards:            *shards,
 		SnapshotInterval:  *snapEvery,
 		AppliedKeep:       *keep,
 		DataDir:           *dataDir,
@@ -120,8 +128,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("kvnode: %v", err)
 	}
-	log.Printf("kvnode %d: consensus on %s, clients on %s, pipeline depth %d, snapshot interval %d",
-		*id, nd.Addr(), nd.ClientAddr(), *pipeline, *snapEvery)
+	log.Printf("kvnode %d: consensus on %s, clients on %s, %d shard(s), pipeline depth %d, snapshot interval %d",
+		*id, nd.Addr(), nd.ClientAddr(), *shards, *pipeline, *snapEvery)
 	nd.Start()
 
 	sig := make(chan os.Signal, 1)

@@ -6,14 +6,28 @@
 // up whole in-process clusters of them for TCP-level benchmarking, and the
 // crash-recovery e2e tests drive it directly.
 //
+// Sharding: with Config.Shards = S > 1 the node runs S independent
+// consensus groups over the same replica set and transport links, each
+// group a complete SMR runtime — its own replica, pipeline dispatcher,
+// adaptive batch controller, commit queue, auth replay window, snapshot
+// chain and WAL directory. Keys map to groups deterministically
+// (wire.GroupForKey — a seedless FNV-1a hash, identical on every replica,
+// every client and across restarts), and the client protocol routes each
+// write to its owning group's dispatcher. Instance ids on the wire carry
+// the group in their top bits (wire.PackGID), so one transport node
+// multiplexes all S groups; group 0's ids coincide with the unsharded
+// encoding. Groups share nothing on the commit path, which is what lets
+// aggregate throughput scale with S. Cross-shard atomic multi-key writes
+// are out of scope (see docs/SHARD.md and the ROADMAP follow-up).
+//
 // Recovery lifecycle, disk first and peers second: on Start a node with a
-// data directory restores its newest digest-verified local checkpoint and
-// replays its write-ahead decision log through the commit queue (so a
-// whole-cluster power cycle converges from disk alone), then — with
-// snapshots enabled — probes its peers for anything newer and installs the
-// newest checkpoint backed by b+1 matching digests
-// (transport.FetchVerifiedSnapshot), rejoining the pipeline at the
-// restored watermark instead of instance 1. If it later wedges on an
+// data directory restores, per group, its newest digest-verified local
+// checkpoint and replays the group's write-ahead decision log through its
+// commit queue (so a whole-cluster power cycle converges from disk alone),
+// then — with snapshots enabled — probes its peers for anything newer and
+// installs the newest checkpoint backed by b+1 matching digests
+// (transport.FetchVerifiedGroupSnapshot), rejoining the pipeline at the
+// restored watermark instead of instance 1. If a group later wedges on an
 // instance its peers have already committed and compacted away (repeated
 // ErrNoDecision), the dispatcher resyncs the same way: fetch a verified
 // snapshot covering the stuck instance, install it under the commit-queue
@@ -27,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -84,18 +99,27 @@ type Config struct {
 	// MaxBatch bounds commands per consensus instance (default
 	// smr.MaxBatchSize).
 	MaxBatch int
-	// Pipeline is the maximum number of concurrent instances (default 1).
+	// Pipeline is the maximum number of concurrent instances per group
+	// (default 1).
 	Pipeline int
 	// Adaptive sizes batches from queue depth and observed latency.
 	Adaptive bool
-	// SnapshotInterval checkpoints every K committed instances and enables
-	// the recovery path; 0 disables snapshots.
+	// Shards partitions the keyspace across that many independent
+	// consensus groups (default 1: the unsharded node). Every replica in
+	// the cluster must configure the same value — the key→group mapping is
+	// part of the replicated protocol. Shards > 1 requires a *kv.Store
+	// state machine (the extra groups get fresh stores of their own).
+	Shards int
+	// SnapshotInterval checkpoints every K committed instances (per group)
+	// and enables the recovery path; 0 disables snapshots.
 	SnapshotInterval uint64
 	// AppliedKeep bounds the state machine's dedup table at snapshot
 	// boundaries (snapshot.Pruner); 0 keeps everything.
 	AppliedKeep int
 	// DataDir enables durable storage: the write-ahead decision log and
 	// the on-disk checkpoint store live here, one directory per replica.
+	// With Shards > 1 each group keeps its own subdirectory
+	// (DataDir/group-<g>) with an independent WAL and checkpoint chain.
 	// On restart the node recovers disk-first — newest verified local
 	// checkpoint, then WAL replay — before probing peers, which is what
 	// survives a whole-cluster power cycle. Empty keeps the node
@@ -126,10 +150,10 @@ type Config struct {
 	ExtraRounds int
 	// FetchTimeout bounds one snapshot fetch during recovery (default 2s).
 	FetchTimeout time.Duration
-	// StallTimeout is how long the commit watermark may sit still with
-	// work outstanding before the node suspects it has been left behind
-	// and probes its peers for verified decisions or a newer checkpoint
-	// (default 2s).
+	// StallTimeout is how long a group's commit watermark may sit still
+	// with work outstanding before the group suspects it has been left
+	// behind and probes its peers for verified decisions or a newer
+	// checkpoint (default 2s).
 	StallTimeout time.Duration
 	// SnapChunkBytes overrides the state-transfer chunk size (tests).
 	SnapChunkBytes int
@@ -137,20 +161,23 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Node is one running replica server.
-type Node struct {
-	cfg      Config
-	params   core.Params
-	tn       *transport.Node
-	replica  *smr.Replica
-	sm       smr.StateMachine
-	ctrl     *smr.AdaptiveBatch
-	mgr      *smr.SnapshotManager // nil when snapshots are disabled
-	backend  storage.Backend      // nil when DataDir is unset
-	commits  *smr.CommitQueue
-	clientLn net.Listener
-	authCtx  *smr.AuthContext // nil in legacy mode
-	keyring  *auth.ClientKeyring
+// group is one consensus group's complete SMR runtime. An unsharded node
+// is exactly one group; a sharded node runs Config.Shards of them side by
+// side over the shared transport, each driving its own instance space
+// (wire.PackGID(id, ·)), commit queue, replay window, WAL and snapshot
+// chain. Nothing on the commit path is shared between groups.
+type group struct {
+	n      *Node
+	id     wire.GroupID
+	params core.Params // per-group: the chooser holds the group's AuthContext
+
+	replica *smr.Replica
+	sm      smr.StateMachine
+	ctrl    *smr.AdaptiveBatch
+	mgr     *smr.SnapshotManager // nil when snapshots are disabled
+	backend storage.Backend      // nil when DataDir is unset
+	commits *smr.CommitQueue
+	authCtx *smr.AuthContext // nil in legacy mode
 
 	mu   sync.Mutex // guards next
 	next uint64
@@ -158,15 +185,27 @@ type Node struct {
 	resyncMu sync.Mutex // serializes catch-up probes
 
 	inflight atomic.Int32 // workers currently inside decideInstance
-	started  atomic.Bool
-	stopping atomic.Bool
-	wg       sync.WaitGroup
 
 	// kick wakes the dispatcher ahead of its poll tick: pulsed when a
 	// client enqueues work and when a pipeline slot frees up. Together with
 	// the transport's InstanceNotify it makes the instance schedule
 	// event-driven — the poll interval is only a liveness backstop.
 	kick chan struct{}
+}
+
+// Node is one running replica server: the shared transport, the client
+// listener and S consensus groups behind a key-hash shard router.
+type Node struct {
+	cfg      Config
+	tn       *transport.Node
+	groups   []*group
+	sm       smr.StateMachine // group 0's machine (tests, back-compat)
+	clientLn net.Listener
+	keyring  *auth.ClientKeyring
+
+	started  atomic.Bool
+	stopping atomic.Bool
+	wg       sync.WaitGroup
 
 	verbMu sync.Mutex // guards verbs
 	verbs  map[string]clientVerbHandler
@@ -174,13 +213,18 @@ type Node struct {
 
 // New binds the node's listeners and assembles the stack; Start launches
 // it. The state machine must implement snapshot.Snapshotter when
-// SnapshotInterval > 0, and must be a *kv.Store when ClientAddr is set.
+// SnapshotInterval > 0, and must be a *kv.Store when ClientAddr is set or
+// Shards > 1 (sm becomes group 0's machine; the other groups get fresh
+// stores).
 func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = smr.MaxBatchSize
 	}
 	if cfg.Pipeline < 1 {
 		cfg.Pipeline = 1
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
 	}
 	if cfg.BaseTimeout == 0 {
 		cfg.BaseTimeout = 50 * time.Millisecond
@@ -212,32 +256,31 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 	if cfg.ClientSeed == 0 {
 		cfg.ClientSeed = cfg.AuthSeed
 	}
-
-	// Authenticated command lifecycle: one AuthContext serves ingress
-	// verification, the provenance-checked chooser and the commit-side
-	// replay window.
-	var authCtx *smr.AuthContext
-	var keyring *auth.ClientKeyring
-	chooser := smr.CommandChooser{}
-	if cfg.ClientAuth {
-		keyring = auth.NewClientKeyring(cfg.ClientSeed, cfg.NumClients)
-		authCtx = smr.NewAuthContext(keyring, cfg.ClientWindow)
-		chooser = smr.CommandChooser{Auth: authCtx}
+	if cfg.Shards > 1 {
+		if _, ok := sm.(*kv.Store); !ok {
+			return nil, fmt.Errorf("node: sharding needs a *kv.Store state machine, have %T", sm)
+		}
 	}
 
-	params := core.Params{
+	// One keyring serves every group's ingress verification — client keys
+	// are cluster-wide, only the replay windows are per group.
+	var keyring *auth.ClientKeyring
+	if cfg.ClientAuth {
+		keyring = auth.NewClientKeyring(cfg.ClientSeed, cfg.NumClients)
+	}
+
+	baseParams := core.Params{
 		N: cfg.N, B: cfg.B, F: cfg.F, TD: cfg.TD,
 		Flag:       model.FlagPhase,
 		Selector:   selector.NewAll(cfg.N),
-		Chooser:    chooser,
 		UseHistory: true,
 	}
 	if cfg.F > 0 {
-		params.FLV = flv.NewClass3(cfg.N, cfg.TD, cfg.B, false)
+		baseParams.FLV = flv.NewClass3(cfg.N, cfg.TD, cfg.B, false)
 	} else {
-		params.FLV = flv.NewPBFT(cfg.N, cfg.B)
+		baseParams.FLV = flv.NewPBFT(cfg.N, cfg.B)
 	}
-	if err := params.Validate(); err != nil {
+	if err := baseParams.Validate(); err != nil {
 		return nil, fmt.Errorf("node: %w", err)
 	}
 
@@ -249,7 +292,8 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 	// guarantee at the worst case (every cached decision a maximum-size
 	// batch): the transport's own 4 MiB default would silently evict
 	// decisions a laggard still needs under large snapshot intervals,
-	// stranding it behind the head until the next checkpoint forms.
+	// stranding it behind the head until the next checkpoint forms. The
+	// transport applies both budgets per group.
 	decisionCache := int(cfg.SnapshotInterval) + 64
 	if decisionCache < 256 {
 		decisionCache = 256
@@ -264,81 +308,135 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 		SnapChunkBytes:     cfg.SnapChunkBytes,
 		DecisionCache:      decisionCache,
 		DecisionCacheBytes: decisionCache * smr.MaxBatchBytes,
+		Groups:             cfg.Shards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("node: %w", err)
 	}
 
-	replica := smr.NewReplica(cfg.ID, sm)
-	replica.SetMaxBatch(cfg.MaxBatch)
-	if authCtx != nil {
-		replica.SetCommandAuth(authCtx)
-		if store, ok := sm.(*kv.Store); ok {
-			// The context (not the bare keyring) lets the apply path answer
-			// from the shared verdict cache instead of recomputing HMACs.
-			store.EnableClientAuth(authCtx, cfg.ClientWindow)
-		}
-	}
-	n := &Node{cfg: cfg, params: params, tn: tn, replica: replica, sm: sm,
-		authCtx: authCtx, keyring: keyring, next: 1,
-		kick: make(chan struct{}, 1)}
+	n := &Node{cfg: cfg, tn: tn, sm: sm, keyring: keyring}
 	n.registerClientVerbs()
-	if cfg.DataDir != "" {
-		backend, err := storage.OpenDisk(storage.DiskConfig{
-			Dir:               cfg.DataDir,
-			Fsync:             cfg.Fsync,
-			FsyncBatch:        cfg.FsyncBatch,
-			FullSnapshotEvery: cfg.FullSnapshotEvery,
-			Logf:              cfg.Logf,
-		})
-		if err != nil {
-			_ = tn.Close()
-			return nil, fmt.Errorf("node: %w", err)
+	fail := func(err error) (*Node, error) {
+		_ = tn.Close()
+		for _, g := range n.groups {
+			if g.backend != nil {
+				_ = g.backend.Close()
+			}
 		}
-		n.backend = backend
-		replica.SetBackend(backend, func(err error) {
-			cfg.Logf("node %d: storage degraded: %v", cfg.ID, err)
-		})
+		return nil, err
 	}
-	if cfg.Adaptive {
-		n.ctrl = smr.NewAdaptiveBatch(smr.AdaptiveConfig{
-			MaxBatch: cfg.MaxBatch,
-			MaxDepth: cfg.Pipeline,
-			// Latencies are observed in milliseconds; the good case is ~2
-			// rounds under the base timeout.
-			BaseLatency: float64(2 * cfg.BaseTimeout / time.Millisecond),
-		})
-		replica.SetBatchSizer(n.ctrl)
-	}
-	if cfg.SnapshotInterval > 0 {
-		mgr, err := smr.NewSnapshotManager(replica, smr.SnapshotConfig{
-			Interval:    cfg.SnapshotInterval,
-			KeepApplied: cfg.AppliedKeep,
-		})
-		if err != nil {
-			_ = tn.Close()
-			return nil, fmt.Errorf("node: %w", err)
+	for gi := 0; gi < cfg.Shards; gi++ {
+		gsm := sm
+		if gi > 0 {
+			gsm = kv.NewStore()
 		}
-		n.mgr = mgr
-		tn.SetSnapshotProvider(func() (*snapshot.Snapshot, bool) {
-			s, _, ok := mgr.Latest()
-			return s, ok
-		})
+		g := &group{n: n, id: wire.GroupID(gi), sm: gsm, next: 1,
+			kick: make(chan struct{}, 1)}
+
+		// Authenticated command lifecycle: one AuthContext per group serves
+		// ingress verification, the provenance-checked chooser and the
+		// commit-side replay window, so a (client, seq) committed on one
+		// group never bounces a submission on another.
+		if cfg.ClientAuth {
+			g.authCtx = smr.NewAuthContext(keyring, cfg.ClientWindow)
+		}
+		g.params = baseParams
+		if g.authCtx != nil {
+			g.params.Chooser = smr.CommandChooser{Auth: g.authCtx}
+		}
+
+		g.replica = smr.NewReplica(cfg.ID, gsm)
+		g.replica.SetMaxBatch(cfg.MaxBatch)
+		if g.authCtx != nil {
+			g.replica.SetCommandAuth(g.authCtx)
+			if store, ok := gsm.(*kv.Store); ok {
+				// The context (not the bare keyring) lets the apply path answer
+				// from the shared verdict cache instead of recomputing HMACs.
+				store.EnableClientAuth(g.authCtx, cfg.ClientWindow)
+			}
+		}
+		if cfg.DataDir != "" {
+			backend, err := storage.OpenDisk(storage.DiskConfig{
+				Dir:               groupDataDir(cfg.DataDir, cfg.Shards, g.id),
+				Fsync:             cfg.Fsync,
+				FsyncBatch:        cfg.FsyncBatch,
+				FullSnapshotEvery: cfg.FullSnapshotEvery,
+				Logf:              cfg.Logf,
+			})
+			if err != nil {
+				n.groups = append(n.groups, g)
+				return fail(fmt.Errorf("node: %w", err))
+			}
+			g.backend = backend
+			gid := g.id
+			g.replica.SetBackend(backend, func(err error) {
+				cfg.Logf("node %d/g%d: storage degraded: %v", cfg.ID, gid, err)
+			})
+		}
+		if cfg.Adaptive {
+			g.ctrl = smr.NewAdaptiveBatch(smr.AdaptiveConfig{
+				MaxBatch: cfg.MaxBatch,
+				MaxDepth: cfg.Pipeline,
+				// Latencies are observed in milliseconds; the good case is ~2
+				// rounds under the base timeout.
+				BaseLatency: float64(2 * cfg.BaseTimeout / time.Millisecond),
+			})
+			g.replica.SetBatchSizer(g.ctrl)
+		}
+		if cfg.SnapshotInterval > 0 {
+			mgr, err := smr.NewSnapshotManager(g.replica, smr.SnapshotConfig{
+				Interval:    cfg.SnapshotInterval,
+				KeepApplied: cfg.AppliedKeep,
+			})
+			if err != nil {
+				n.groups = append(n.groups, g)
+				return fail(fmt.Errorf("node: %w", err))
+			}
+			g.mgr = mgr
+			tn.SetGroupSnapshotProvider(g.id, func() (*snapshot.Snapshot, bool) {
+				s, _, ok := mgr.Latest()
+				return s, ok
+			})
+		}
+		n.groups = append(n.groups, g)
 	}
 	if cfg.ClientAddr != "" {
 		if _, ok := sm.(*kv.Store); !ok {
-			_ = tn.Close()
-			return nil, fmt.Errorf("node: client protocol needs a *kv.Store, have %T", sm)
+			return fail(fmt.Errorf("node: client protocol needs a *kv.Store, have %T", sm))
 		}
 		ln, err := net.Listen("tcp", cfg.ClientAddr)
 		if err != nil {
-			_ = tn.Close()
-			return nil, fmt.Errorf("node: client listen: %w", err)
+			return fail(fmt.Errorf("node: client listen: %w", err))
 		}
 		n.clientLn = ln
 	}
 	return n, nil
 }
+
+// groupDataDir is the storage layout rule: an unsharded node owns DataDir
+// directly (bit-compatible with pre-sharding deployments), a sharded one
+// keeps one subdirectory per group so WAL truncation and checkpoint chains
+// stay independent.
+func groupDataDir(dataDir string, shards int, g wire.GroupID) string {
+	if shards <= 1 {
+		return dataDir
+	}
+	return filepath.Join(dataDir, fmt.Sprintf("group-%d", g))
+}
+
+// logf prefixes progress lines with the node (and, when sharded, group)
+// identity.
+func (g *group) logf(format string, args ...any) {
+	if g.n.cfg.Shards > 1 {
+		g.n.cfg.Logf("node %d/g%d: "+format, append([]any{g.n.cfg.ID, g.id}, args...)...)
+		return
+	}
+	g.n.cfg.Logf("node %d: "+format, append([]any{g.n.cfg.ID}, args...)...)
+}
+
+// packed maps a group-local instance id into the shared transport's
+// instance space.
+func (g *group) packed(instance uint64) uint64 { return wire.PackGID(g.id, instance) }
 
 // SetPeers installs the cluster address map (":0" clusters learn addresses
 // after binding). Call before Start.
@@ -358,41 +456,77 @@ func (n *Node) ClientAddr() string {
 	return n.clientLn.Addr().String()
 }
 
-// Replica exposes the SMR bookkeeping (tests, metrics).
-func (n *Node) Replica() *smr.Replica { return n.replica }
+// Shards reports the number of consensus groups (1 = unsharded).
+func (n *Node) Shards() int { return n.cfg.Shards }
 
-// AuthContext exposes the command-authentication context (nil in legacy
-// mode).
-func (n *Node) AuthContext() *smr.AuthContext { return n.authCtx }
+// Replica exposes group 0's SMR bookkeeping (tests, metrics; the only
+// group on an unsharded node). GroupReplica addresses the others.
+func (n *Node) Replica() *smr.Replica { return n.groups[0].replica }
 
-// Manager exposes the snapshot manager (nil when snapshots are disabled).
-func (n *Node) Manager() *smr.SnapshotManager { return n.mgr }
+// GroupReplica exposes one group's SMR bookkeeping.
+func (n *Node) GroupReplica(g wire.GroupID) *smr.Replica { return n.groups[g].replica }
 
-// Backend exposes the storage backend (nil when DataDir is unset).
-func (n *Node) Backend() storage.Backend { return n.backend }
+// AuthContext exposes group 0's command-authentication context (nil in
+// legacy mode).
+func (n *Node) AuthContext() *smr.AuthContext { return n.groups[0].authCtx }
 
-// Submit queues a client command directly (in-process clients).
-func (n *Node) Submit(cmd model.Value) {
-	n.replica.Submit(cmd)
-	n.kickDispatcher()
+// GroupAuthContext exposes one group's command-authentication context.
+func (n *Node) GroupAuthContext(g wire.GroupID) *smr.AuthContext { return n.groups[g].authCtx }
+
+// Manager exposes group 0's snapshot manager (nil when snapshots are
+// disabled).
+func (n *Node) Manager() *smr.SnapshotManager { return n.groups[0].mgr }
+
+// GroupManager exposes one group's snapshot manager.
+func (n *Node) GroupManager(g wire.GroupID) *smr.SnapshotManager { return n.groups[g].mgr }
+
+// Backend exposes group 0's storage backend (nil when DataDir is unset).
+func (n *Node) Backend() storage.Backend { return n.groups[0].backend }
+
+// GroupBackend exposes one group's storage backend.
+func (n *Node) GroupBackend(g wire.GroupID) storage.Backend { return n.groups[g].backend }
+
+// GroupStores returns each group's kv state machine, nil where a group's
+// machine is not a *kv.Store — benchmarks and tests sum applied state over
+// the groups.
+func (n *Node) GroupStores() []*kv.Store {
+	stores := make([]*kv.Store, len(n.groups))
+	for i, g := range n.groups {
+		stores[i], _ = g.sm.(*kv.Store)
+	}
+	return stores
 }
 
-// seedReplayWindow rebuilds the SMR-layer replay window from the state
-// machine's restored dedup windows after a snapshot install. The snapshot
-// fast-forward skips Replica.Commit for the instances it covers, so
-// without the reseed a recovered node's ingress and chooser would treat
+// GroupForKey reports the consensus group owning key under this node's
+// shard count.
+func (n *Node) GroupForKey(key string) wire.GroupID {
+	return wire.GroupForKey(key, n.cfg.Shards)
+}
+
+// Submit queues a client command directly on group 0 (in-process clients;
+// sharded callers route with GroupForKey + the client protocol).
+func (n *Node) Submit(cmd model.Value) {
+	g := n.groups[0]
+	g.replica.Submit(cmd)
+	g.kickDispatcher()
+}
+
+// seedReplayWindow rebuilds the group's SMR-layer replay window from the
+// state machine's restored dedup windows after a snapshot install. The
+// snapshot fast-forward skips Replica.Commit for the instances it covers,
+// so without the reseed a recovered group's ingress and chooser would treat
 // replays of pre-checkpoint committed commands as fresh — at-most-once
 // would survive only at apply time, and the replayed identity could be
 // decided into the log a second time.
-func (n *Node) seedReplayWindow() {
-	if n.authCtx == nil {
+func (g *group) seedReplayWindow() {
+	if g.authCtx == nil {
 		return
 	}
-	store, ok := n.sm.(*kv.Store)
+	store, ok := g.sm.(*kv.Store)
 	if !ok {
 		return
 	}
-	window := n.authCtx.Window()
+	window := g.authCtx.Window()
 	store.EachAppliedSeq(window.Record)
 }
 
@@ -407,10 +541,10 @@ func (n *Node) otherPeers() []model.PID {
 	return peers
 }
 
-// Start runs recovery and launches the dispatcher and client goroutines.
-// It must be called exactly once.
+// Start runs recovery and launches the per-group dispatchers and the
+// client listener. It must be called exactly once.
 //
-// Recovery ordering is disk first, then peers:
+// Recovery ordering is disk first, then peers, independently per group:
 //
 //  1. Newest verified local checkpoint (digest-checked by the storage
 //     layer) — restores the bulk of the state with no network at all.
@@ -431,115 +565,123 @@ func (n *Node) Start() {
 	if !n.started.CompareAndSwap(false, true) {
 		return
 	}
-	first := uint64(1)
-	if n.backend != nil && n.mgr != nil {
-		snap, ok, err := n.backend.LoadSnapshot()
-		switch {
-		case err != nil:
-			n.cfg.Logf("node %d: loading local checkpoint: %v", n.cfg.ID, err)
-		case ok:
-			if err := n.mgr.Install(snap); err != nil {
-				n.cfg.Logf("node %d: installing local checkpoint: %v", n.cfg.ID, err)
-				break
-			}
-			n.seedReplayWindow()
-			first = snap.LastInstance + 1
-			n.tn.ReleaseInstance(snap.LastInstance)
-			n.cfg.Logf("node %d: restored local checkpoint at instance %d (log index %d)",
-				n.cfg.ID, snap.LastInstance, snap.LogIndex)
-		}
+	for _, g := range n.groups {
+		g.start()
 	}
-	n.commits = smr.NewCommitQueue(n.replica, first, func(instance uint64, decided model.Value, resps []string) {
-		// Cache the decision before releasing the buffers, so a laggard
-		// probing right after the release always finds it.
-		n.tn.RecordDecision(instance, decided)
-		n.tn.ReleaseInstance(instance)
-		if n.mgr != nil {
-			n.mgr.MaybeSnapshot(instance)
-		}
-		n.cfg.Logf("node %d: instance %d decided %d command(s), log length %d",
-			n.cfg.ID, instance, len(resps), n.replica.Log.Len())
-	})
-	if n.backend != nil {
-		n.replayWAL(first)
-	}
-	if n.mgr != nil {
-		// Peer probe: adopt the newest checkpoint b+1 peers agree on when
-		// it is ahead of everything the disk restored. A fresh cluster (or
-		// one where every peer is also mid-restart) fails the probe quickly
-		// and proceeds on local state; the stall watcher retries later.
-		snap, err := n.tn.FetchVerifiedSnapshot(n.otherPeers(), n.cfg.B+1, n.cfg.FetchTimeout)
-		switch {
-		case err != nil:
-			n.cfg.Logf("node %d: no peer snapshot (%v), proceeding on local state", n.cfg.ID, err)
-		case snap.LogIndex <= uint64(n.replica.Log.Len()):
-			n.cfg.Logf("node %d: peers' snapshot (instance %d) not ahead of local state",
-				n.cfg.ID, snap.LastInstance)
-		default:
-			installed, err := n.commits.InstallSnapshot(snap.LastInstance+1, func() error {
-				if err := n.mgr.Install(snap); err != nil {
-					return err
-				}
-				n.seedReplayWindow()
-				return nil
-			})
-			if err != nil {
-				n.cfg.Logf("node %d: installing recovery snapshot: %v", n.cfg.ID, err)
-				break
-			}
-			if installed {
-				n.tn.ReleaseInstance(snap.LastInstance)
-				n.cfg.Logf("node %d: recovered from peers at instance %d (log index %d)",
-					n.cfg.ID, snap.LastInstance, snap.LogIndex)
-			}
-		}
-	}
-	n.mu.Lock()
-	n.next = n.commits.NextCommit()
-	n.mu.Unlock()
-	n.wg.Add(1)
-	go n.runDispatcher()
-	n.wg.Add(1)
-	go n.stallWatch()
 	if n.clientLn != nil {
 		n.wg.Add(1)
 		go n.serveClients()
 	}
 }
 
+// start recovers one group from disk and peers and launches its dispatcher
+// and stall watcher.
+func (g *group) start() {
+	n := g.n
+	first := uint64(1)
+	if g.backend != nil && g.mgr != nil {
+		snap, ok, err := g.backend.LoadSnapshot()
+		switch {
+		case err != nil:
+			g.logf("loading local checkpoint: %v", err)
+		case ok:
+			if err := g.mgr.Install(snap); err != nil {
+				g.logf("installing local checkpoint: %v", err)
+				break
+			}
+			g.seedReplayWindow()
+			first = snap.LastInstance + 1
+			n.tn.ReleaseInstance(g.packed(snap.LastInstance))
+			g.logf("restored local checkpoint at instance %d (log index %d)",
+				snap.LastInstance, snap.LogIndex)
+		}
+	}
+	g.commits = smr.NewCommitQueue(g.replica, first, func(instance uint64, decided model.Value, resps []string) {
+		// Cache the decision before releasing the buffers, so a laggard
+		// probing right after the release always finds it.
+		n.tn.RecordDecision(g.packed(instance), decided)
+		n.tn.ReleaseInstance(g.packed(instance))
+		if g.mgr != nil {
+			g.mgr.MaybeSnapshot(instance)
+		}
+		g.logf("instance %d decided %d command(s), log length %d",
+			instance, len(resps), g.replica.Log.Len())
+	})
+	if g.backend != nil {
+		g.replayWAL(first)
+	}
+	if g.mgr != nil {
+		// Peer probe: adopt the newest checkpoint b+1 peers agree on when
+		// it is ahead of everything the disk restored. A fresh cluster (or
+		// one where every peer is also mid-restart) fails the probe quickly
+		// and proceeds on local state; the stall watcher retries later.
+		snap, err := n.tn.FetchVerifiedGroupSnapshot(n.otherPeers(), g.id, n.cfg.B+1, n.cfg.FetchTimeout)
+		switch {
+		case err != nil:
+			g.logf("no peer snapshot (%v), proceeding on local state", err)
+		case snap.LogIndex <= uint64(g.replica.Log.Len()):
+			g.logf("peers' snapshot (instance %d) not ahead of local state", snap.LastInstance)
+		default:
+			installed, err := g.commits.InstallSnapshot(snap.LastInstance+1, func() error {
+				if err := g.mgr.Install(snap); err != nil {
+					return err
+				}
+				g.seedReplayWindow()
+				return nil
+			})
+			if err != nil {
+				g.logf("installing recovery snapshot: %v", err)
+				break
+			}
+			if installed {
+				n.tn.ReleaseInstance(g.packed(snap.LastInstance))
+				g.logf("recovered from peers at instance %d (log index %d)",
+					snap.LastInstance, snap.LogIndex)
+			}
+		}
+	}
+	g.mu.Lock()
+	g.next = g.commits.NextCommit()
+	g.mu.Unlock()
+	n.wg.Add(1)
+	go g.runDispatcher()
+	n.wg.Add(1)
+	go g.stallWatch()
+}
+
 // replayWAL drives every durable decision at or above `first` through the
-// commit queue and the decision ring. Records are collected before any is
-// delivered: a delivery can trigger a checkpoint, and a checkpoint
+// group's commit queue and the decision ring. Records are collected before
+// any is delivered: a delivery can trigger a checkpoint, and a checkpoint
 // truncates the WAL being read.
-func (n *Node) replayWAL(first uint64) {
+func (g *group) replayWAL(first uint64) {
 	type record struct {
 		instance uint64
 		value    model.Value
 	}
 	var records []record
-	if err := n.backend.ReplayWAL(func(instance uint64, value model.Value) error {
+	if err := g.backend.ReplayWAL(func(instance uint64, value model.Value) error {
 		if instance >= first {
 			records = append(records, record{instance, value})
 		}
 		return nil
 	}); err != nil {
-		n.cfg.Logf("node %d: wal replay: %v", n.cfg.ID, err)
+		g.logf("wal replay: %v", err)
 		return
 	}
 	for _, r := range records {
 		// Reseed the decision ring first: peers recovering alongside us
 		// may need decisions our commit queue buffers behind a gap.
-		n.tn.RecordDecision(r.instance, r.value)
-		n.commits.Deliver(r.instance, r.value)
+		g.n.tn.RecordDecision(g.packed(r.instance), r.value)
+		g.commits.Deliver(r.instance, r.value)
 	}
 	if len(records) > 0 {
-		n.cfg.Logf("node %d: replayed %d decision(s) from the wal, committed through instance %d",
-			n.cfg.ID, len(records), n.commits.NextCommit()-1)
+		g.logf("replayed %d decision(s) from the wal, committed through instance %d",
+			len(records), g.commits.NextCommit()-1)
 	}
 }
 
-// Stop shuts the node down and joins its goroutines. The storage backend
-// is flushed and closed last, after every in-flight commit has drained.
+// Stop shuts the node down and joins its goroutines. The storage backends
+// are flushed and closed last, after every in-flight commit has drained.
 func (n *Node) Stop() {
 	if n.stopping.Swap(true) {
 		return
@@ -549,59 +691,62 @@ func (n *Node) Stop() {
 	}
 	_ = n.tn.Close()
 	n.wg.Wait()
-	if n.backend != nil {
-		if err := n.backend.Close(); err != nil {
-			n.cfg.Logf("node %d: closing storage: %v", n.cfg.ID, err)
+	for _, g := range n.groups {
+		if g.backend != nil {
+			if err := g.backend.Close(); err != nil {
+				g.logf("closing storage: %v", err)
+			}
 		}
 	}
 }
 
-// runDispatcher drives the pipelined instance schedule: up to Pipeline
-// concurrent RunProc workers, proposals claiming disjoint queue slices,
-// decisions flowing through the in-order commit queue. It keeps the
-// instance counter glued to the commit watermark so a snapshot
+// runDispatcher drives the group's pipelined instance schedule: up to
+// Pipeline concurrent RunProc workers, proposals claiming disjoint queue
+// slices, decisions flowing through the in-order commit queue. It keeps
+// the instance counter glued to the commit watermark so a snapshot
 // fast-forward skips the dead instances instead of starting them.
-func (n *Node) runDispatcher() {
+func (g *group) runDispatcher() {
+	n := g.n
 	defer n.wg.Done()
 	sem := make(chan struct{}, n.cfg.Pipeline)
 	for !n.stopping.Load() {
-		queue := n.replica.PendingLen()
-		n.mu.Lock()
-		if wm := n.commits.NextCommit(); n.next < wm {
-			n.next = wm
+		queue := g.replica.PendingLen()
+		g.mu.Lock()
+		if wm := g.commits.NextCommit(); g.next < wm {
+			g.next = wm
 		}
-		next := n.next
-		n.mu.Unlock()
-		join := n.tn.HasInstance(next)
-		if n.commits.Unclaimed() == 0 && !join {
-			n.waitWork()
+		next := g.next
+		g.mu.Unlock()
+		join := n.tn.HasInstance(g.packed(next))
+		if g.commits.Unclaimed() == 0 && !join {
+			g.waitWork()
 			continue
 		}
 		// Adaptive window: a backlog of one command gets one instance, not
 		// Pipeline speculative ones.
-		if n.ctrl != nil && !join && len(sem) >= n.ctrl.Depth(queue) {
-			n.waitWork()
+		if g.ctrl != nil && !join && len(sem) >= g.ctrl.Depth(queue) {
+			g.waitWork()
 			continue
 		}
 		sem <- struct{}{} // caps in-flight instances
-		n.mu.Lock()
-		if wm := n.commits.NextCommit(); n.next < wm {
-			n.next = wm
+		g.mu.Lock()
+		if wm := g.commits.NextCommit(); g.next < wm {
+			g.next = wm
 		}
-		instance := n.next
-		n.next++
-		n.mu.Unlock()
-		proposal := n.commits.Claim(instance, 0)
+		instance := g.next
+		g.next++
+		g.mu.Unlock()
+		proposal := g.commits.Claim(instance, 0)
 		n.wg.Add(1)
-		n.inflight.Add(1)
+		g.inflight.Add(1)
 		go func(instance uint64, proposal model.Value) {
 			defer n.wg.Done()
-			defer n.inflight.Add(-1)
+			defer g.inflight.Add(-1)
 			defer func() {
 				<-sem
-				n.kickDispatcher() // a slot freed: schedule the next instance now
+				g.kickDispatcher() // a slot freed: schedule the next instance now
 			}()
-			n.decideInstance(instance, proposal)
+			g.decideInstance(instance, proposal)
 		}(instance, proposal)
 	}
 }
@@ -610,21 +755,23 @@ func (n *Node) runDispatcher() {
 // local kick (client submit, freed slot), a peer starting a new instance,
 // or the poll-interval backstop. Sleeping a flat interval here throttled
 // the whole pipeline — every slot handoff and every follower join ate up
-// to the full interval of dead time per instance.
-func (n *Node) waitWork() {
+// to the full interval of dead time per instance. The transport's notify
+// channel is shared by every group's dispatcher (a pulse wakes one of
+// them); the poll tick bounds the wake-up latency for the rest.
+func (g *group) waitWork() {
 	timer := time.NewTimer(5 * time.Millisecond)
 	defer timer.Stop()
 	select {
-	case <-n.kick:
-	case <-n.tn.InstanceNotify():
+	case <-g.kick:
+	case <-g.n.tn.InstanceNotify():
 	case <-timer.C:
 	}
 }
 
-// kickDispatcher pulses the dispatcher's wake channel (never blocks).
-func (n *Node) kickDispatcher() {
+// kickDispatcher pulses the group dispatcher's wake channel (never blocks).
+func (g *group) kickDispatcher() {
 	select {
-	case n.kick <- struct{}{}:
+	case g.kick <- struct{}{}:
 	default:
 	}
 }
@@ -634,24 +781,25 @@ func (n *Node) kickDispatcher() {
 // instance, so a worker gives up only when the node stops or the instance
 // is proven to be finished business cluster-wide (released locally after a
 // catch-up, which aborts RunProc with ErrInstanceReleased).
-func (n *Node) decideInstance(instance uint64, proposal model.Value) {
+func (g *group) decideInstance(instance uint64, proposal model.Value) {
+	n := g.n
 	start := time.Now()
 	for !n.stopping.Load() {
-		if n.commits.NextCommit() > instance {
+		if g.commits.NextCommit() > instance {
 			return // a catch-up fast-forwarded past this instance
 		}
-		proc, err := core.NewProcess(n.tn.ID(), proposal, n.params)
+		proc, err := core.NewProcess(n.tn.ID(), proposal, g.params)
 		if err != nil {
 			// Never expected (params are validated, proposals admissible);
 			// fall back to NoOp rather than wedging the commit queue.
 			if proposal != smr.NoOp {
-				n.cfg.Logf("node %d: instance %d: building process: %v (retrying as NoOp)",
-					n.cfg.ID, instance, err)
+				g.logf("instance %d: building process: %v (retrying as NoOp)",
+					instance, err)
 				proposal = smr.NoOp
 				continue
 			}
-			n.cfg.Logf("node %d: instance %d: building process: %v (unrecoverable)",
-				n.cfg.ID, instance, err)
+			g.logf("instance %d: building process: %v (unrecoverable)",
+				instance, err)
 			return
 		}
 		// The decision is committed from inside RunProcNotify's callback —
@@ -659,34 +807,35 @@ func (n *Node) decideInstance(instance uint64, proposal model.Value) {
 		// so the commit watermark (and the client response) never waits on
 		// the post-decision helping.
 		delivered := false
-		decided, err := n.tn.RunProcNotify(instance, proc, n.cfg.MaxRounds, n.cfg.ExtraRounds, func(v model.Value) {
-			if n.ctrl != nil {
-				n.ctrl.Observe(float64(time.Since(start).Milliseconds()))
+		decided, err := n.tn.RunProcNotify(g.packed(instance), proc, n.cfg.MaxRounds, n.cfg.ExtraRounds, func(v model.Value) {
+			if g.ctrl != nil {
+				g.ctrl.Observe(float64(time.Since(start).Milliseconds()))
 			}
-			n.commits.Deliver(instance, v)
+			g.commits.Deliver(instance, v)
 			delivered = true
 		})
 		if err != nil {
 			if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrInstanceReleased) {
 				return
 			}
-			n.cfg.Logf("node %d: instance %d: %v (retrying)", n.cfg.ID, instance, err)
+			g.logf("instance %d: %v (retrying)", instance, err)
 			time.Sleep(50 * time.Millisecond)
 			continue
 		}
 		if !delivered {
-			n.commits.Deliver(instance, decided)
+			g.commits.Deliver(instance, decided)
 		}
 		return
 	}
 }
 
-// stallWatch is the laggard detector: when the commit watermark sits still
-// for StallTimeout with work outstanding — typically because peers decided,
-// committed and released instances this node missed (it was down, or it
-// recovered onto a checkpoint behind the head) — it probes the cluster and
-// catches up without re-running dead instances.
-func (n *Node) stallWatch() {
+// stallWatch is the group's laggard detector: when the commit watermark
+// sits still for StallTimeout with work outstanding — typically because
+// peers decided, committed and released instances this group missed (the
+// node was down, or it recovered onto a checkpoint behind the head) — it
+// probes the cluster and catches up without re-running dead instances.
+func (g *group) stallWatch() {
+	n := g.n
 	defer n.wg.Done()
 	check := n.cfg.StallTimeout / 4
 	if check < 20*time.Millisecond {
@@ -696,7 +845,7 @@ func (n *Node) stallWatch() {
 	lastMove := time.Now()
 	for !n.stopping.Load() {
 		time.Sleep(check)
-		wm := n.commits.NextCommit()
+		wm := g.commits.NextCommit()
 		if wm != lastWM {
 			lastWM = wm
 			lastMove = time.Now()
@@ -705,21 +854,22 @@ func (n *Node) stallWatch() {
 		if time.Since(lastMove) < n.cfg.StallTimeout {
 			continue
 		}
-		// Stalled only if there is evidence of outstanding work: local
-		// in-flight instances, unclaimed queue backlog, or buffered peer
-		// traffic for instances we are not driving (the signature of a
-		// laggard with no local writes — peers broadcast newer instances
-		// while our dispatcher has nothing to join them with).
-		if n.inflight.Load() == 0 && n.commits.Unclaimed() == 0 && n.tn.InstanceCount() == 0 {
+		// Stalled only if there is evidence of outstanding work for THIS
+		// group: local in-flight instances, unclaimed queue backlog, or
+		// buffered peer traffic for group instances we are not driving (the
+		// signature of a laggard with no local writes — peers broadcast
+		// newer instances while our dispatcher has nothing to join them
+		// with). Another group's traffic is not evidence.
+		if g.inflight.Load() == 0 && g.commits.Unclaimed() == 0 && n.tn.GroupInstanceCount(g.id) == 0 {
 			continue // idle, not stalled
 		}
-		n.catchUp()
+		g.catchUp()
 		lastMove = time.Now() // one probe per stall window
 	}
 }
 
-// catchUp advances the commit watermark past instances the cluster has
-// finished without us, cheapest mechanism first:
+// catchUp advances the group's commit watermark past instances the cluster
+// has finished without us, cheapest mechanism first:
 //
 //  1. Verified decisions: peers cache recent decided values
 //     (transport.RecordDecision); any instance b+1 peers agree on is
@@ -730,51 +880,52 @@ func (n *Node) stallWatch() {
 //
 // Committing or installing releases the covered instances, which aborts
 // any local worker still running them (ErrInstanceReleased).
-func (n *Node) catchUp() {
-	n.resyncMu.Lock()
-	defer n.resyncMu.Unlock()
+func (g *group) catchUp() {
+	n := g.n
+	g.resyncMu.Lock()
+	defer g.resyncMu.Unlock()
 	peers := n.otherPeers()
 	quorum := n.cfg.B + 1
 	drain := func() bool {
 		moved := false
 		for !n.stopping.Load() {
-			next := n.commits.NextCommit()
-			decided, err := n.tn.FetchVerifiedDecision(peers, next, quorum, n.cfg.FetchTimeout)
+			next := g.commits.NextCommit()
+			decided, err := n.tn.FetchVerifiedDecision(peers, g.packed(next), quorum, n.cfg.FetchTimeout)
 			if err != nil {
 				return moved
 			}
-			n.cfg.Logf("node %d: caught up instance %d from peer decision caches", n.cfg.ID, next)
-			n.commits.Deliver(next, decided)
+			g.logf("caught up instance %d from peer decision caches", next)
+			g.commits.Deliver(next, decided)
 			moved = true
 		}
 		return moved
 	}
-	if drain() || n.mgr == nil {
+	if drain() || g.mgr == nil {
 		return
 	}
-	snap, err := n.tn.FetchVerifiedSnapshot(peers, quorum, n.cfg.FetchTimeout)
+	snap, err := n.tn.FetchVerifiedGroupSnapshot(peers, g.id, quorum, n.cfg.FetchTimeout)
 	if err != nil {
-		n.cfg.Logf("node %d: catch-up probe: %v", n.cfg.ID, err)
+		g.logf("catch-up probe: %v", err)
 		return
 	}
-	if snap.LastInstance < n.commits.NextCommit() {
+	if snap.LastInstance < g.commits.NextCommit() {
 		return // not behind after all (instances are live, just slow)
 	}
-	installed, err := n.commits.InstallSnapshot(snap.LastInstance+1, func() error {
-		if err := n.mgr.Install(snap); err != nil {
+	installed, err := g.commits.InstallSnapshot(snap.LastInstance+1, func() error {
+		if err := g.mgr.Install(snap); err != nil {
 			return err
 		}
-		n.seedReplayWindow()
+		g.seedReplayWindow()
 		return nil
 	})
 	if err != nil {
-		n.cfg.Logf("node %d: catch-up install: %v", n.cfg.ID, err)
+		g.logf("catch-up install: %v", err)
 		return
 	}
 	if installed {
-		n.tn.ReleaseInstance(snap.LastInstance)
-		n.cfg.Logf("node %d: resynced to instance %d (log index %d)",
-			n.cfg.ID, snap.LastInstance, snap.LogIndex)
+		n.tn.ReleaseInstance(g.packed(snap.LastInstance))
+		g.logf("resynced to instance %d (log index %d)",
+			snap.LastInstance, snap.LogIndex)
 		drain() // bridge the remainder up to the head
 	}
 }
@@ -788,11 +939,22 @@ func (n *Node) catchUp() {
 //	SHELLO <client> <nonce-hex> <mac-hex>      → "SESSION <nonce-hex> <mac-hex>"
 //	SCMD <seq> <tag-hex> SET|DEL <key> [value] → "QUEUED" (after SHELLO)
 //	GET <key>                                  → value or "NOTFOUND"
-//	LOGLEN                                     → decided-log length (global positions)
-//	ASEQ <client>                              → client's highest applied seq (authenticated mode)
+//	LOGLEN                                     → decided-log length, summed over groups
+//	ASEQ <client>                              → client's highest applied seq over all groups
+//	SHARDS                                     → the node's consensus group count
+//	USE <group>                                → pin the connection to one group ("OK <group>")
 //
 // Verbs dispatch through a registry (RegisterVerb) mirroring the
 // transport's frame-handler registry; the built-ins are installed by New.
+//
+// Sharding: every write routes to the consensus group owning its key
+// (wire.GroupForKey — the same deterministic hash the clients use), so an
+// unpinned connection may interleave writes to any shard. A connection
+// pinned with USE belongs to one group; a write whose key hashes elsewhere
+// is answered with "ERR wrongshard <owner>" instead of being silently
+// misrouted — the redirect a sharding-aware client uses to fix its routing
+// table. GET routes by key regardless of the pin (reads are local and
+// group-transparent).
 //
 // In authenticated mode plain CMD writes are refused (a signed cluster
 // accepts no anonymous commands) and ACMD lines are verified at ingress:
@@ -814,7 +976,6 @@ func (n *Node) catchUp() {
 // from farming MAC verifications.
 func (n *Node) serveClients() {
 	defer n.wg.Done()
-	store := n.sm.(*kv.Store)
 	for {
 		conn, err := n.clientLn.Accept()
 		if err != nil {
@@ -826,7 +987,7 @@ func (n *Node) serveClients() {
 		// Handlers are not joined by Stop: they exit when the client closes
 		// (or the process ends), and joining them would let one idle client
 		// connection hang the shutdown.
-		go n.handleClient(conn, store)
+		go n.handleClient(conn)
 	}
 }
 
@@ -838,12 +999,14 @@ type clientVerbHandler func(c *clientConn, fields []string) string
 // handler goroutine. Session state lives here: a connection is anonymous
 // until SHELLO succeeds, then speaks SCMD under the derived session key.
 type clientConn struct {
-	n     *Node
-	store *kv.Store
+	n *Node
+
+	pinned int // group this connection is pinned to via USE (-1 = unpinned)
 
 	sessioned bool
 	client    uint32             // authenticated client id (valid when sessioned)
 	key       auth.MACKey        // per-connection session key
+	macer     *auth.SessionMACer // midstate-cached verifier for the session key
 	signer    *auth.ClientSigner // mints envelope MACs for session writes
 	lastSeq   uint64             // highest session sequence accepted
 	strikes   int                // failed authentications on this connection
@@ -858,6 +1021,17 @@ const maxClientStrikes = 8
 func (c *clientConn) strike(resp string) string {
 	c.strikes++
 	return resp
+}
+
+// route resolves the consensus group owning key, honouring the
+// connection's pin: a pinned connection submitting a key another group
+// owns gets the redirect error instead of a silent misroute.
+func (c *clientConn) route(key string) (*group, string) {
+	owner := wire.GroupForKey(key, c.n.cfg.Shards)
+	if c.pinned >= 0 && int(owner) != c.pinned {
+		return nil, fmt.Sprintf("ERR wrongshard %d", owner)
+	}
+	return c.n.groups[owner], ""
 }
 
 // RegisterVerb installs a client-protocol verb handler (upper-cased),
@@ -893,11 +1067,13 @@ func (n *Node) registerClientVerbs() {
 	n.RegisterVerb("GET", handleGet)
 	n.RegisterVerb("LOGLEN", handleLogLen)
 	n.RegisterVerb("ASEQ", handleAppliedSeq)
+	n.RegisterVerb("SHARDS", handleShards)
+	n.RegisterVerb("USE", handleUse)
 }
 
-func (n *Node) handleClient(conn net.Conn, store *kv.Store) {
+func (n *Node) handleClient(conn net.Conn) {
 	defer conn.Close()
-	c := &clientConn{n: n, store: store}
+	c := &clientConn{n: n, pinned: -1}
 	// Responses are buffered and flushed when the inbound side goes idle:
 	// a pipelined client streaming thousands of lines gets its answers in
 	// a few large writes instead of one syscall per line.
@@ -937,23 +1113,60 @@ func handleGet(c *clientConn, fields []string) string {
 	if len(fields) != 1 {
 		return "ERR usage: GET <key>"
 	}
-	if v, ok := c.store.Get(fields[0]); ok {
+	g := c.n.groups[wire.GroupForKey(fields[0], c.n.cfg.Shards)]
+	store, ok := g.sm.(*kv.Store)
+	if !ok {
+		return "ERR not a kv store"
+	}
+	if v, ok := store.Get(fields[0]); ok {
 		return v
 	}
 	return "NOTFOUND"
 }
 
+// handleLogLen reports the decided-log length summed over the groups: the
+// "how much has this cluster decided" number clients and tests poll. An
+// unsharded node reports exactly its single log's length.
 func handleLogLen(c *clientConn, fields []string) string {
-	return fmt.Sprintf("%d", c.n.replica.Log.Len())
+	total := 0
+	for _, g := range c.n.groups {
+		total += g.replica.Log.Len()
+	}
+	return fmt.Sprintf("%d", total)
+}
+
+// handleShards reports the node's consensus group count, so sharding-aware
+// clients can compute key→group locally (wire.GroupForKey) instead of
+// discovering it one redirect at a time.
+func handleShards(c *clientConn, fields []string) string {
+	return fmt.Sprintf("%d", c.n.cfg.Shards)
+}
+
+// handleUse pins the connection to one consensus group: subsequent writes
+// whose keys hash to a different group are answered with the wrongshard
+// redirect instead of being routed. Sharding-aware clients that keep one
+// connection per group pin each so a stale routing table surfaces as a
+// redirect, never as a silent misroute.
+func handleUse(c *clientConn, fields []string) string {
+	if len(fields) != 1 {
+		return "ERR usage: USE <group>"
+	}
+	g, err := strconv.Atoi(fields[0])
+	if err != nil || g < 0 || g >= c.n.cfg.Shards {
+		return fmt.Sprintf("ERR no such group (have %d)", c.n.cfg.Shards)
+	}
+	c.pinned = g
+	return fmt.Sprintf("OK %d", g)
 }
 
 // handleAppliedSeq reports a client's highest applied sequence: signing
 // clients derive their next sequence base from it instead of guessing (a
 // wall-clock base would poison the id for every other convention sharing
-// it).
+// it). Sharded, the maximum over the groups is the only safe base — the
+// client's writes spread over all of them.
 func handleAppliedSeq(c *clientConn, fields []string) string {
 	switch {
-	case c.n.authCtx == nil:
+	case c.n.groups[0].authCtx == nil:
 		return "ERR client authentication not enabled"
 	case len(fields) != 1:
 		return "ERR usage: ASEQ <client>"
@@ -962,7 +1175,15 @@ func handleAppliedSeq(c *clientConn, fields []string) string {
 	if err != nil {
 		return "ERR bad client id"
 	}
-	return fmt.Sprintf("%d", c.store.ClientMaxSeq(uint32(client)))
+	max := uint64(0)
+	for _, g := range c.n.groups {
+		if store, ok := g.sm.(*kv.Store); ok {
+			if seq := store.ClientMaxSeq(uint32(client)); seq > max {
+				max = seq
+			}
+		}
+	}
+	return fmt.Sprintf("%d", max)
 }
 
 func handleCmd(c *clientConn, fields []string) string {
@@ -970,7 +1191,7 @@ func handleCmd(c *clientConn, fields []string) string {
 	if c.sessioned {
 		return c.strike("ERR session established (anonymous writes refused)")
 	}
-	if n.authCtx != nil {
+	if n.groups[0].authCtx != nil {
 		return "ERR cluster requires signed commands (use ACMD)"
 	}
 	if len(fields) < 3 {
@@ -978,25 +1199,32 @@ func handleCmd(c *clientConn, fields []string) string {
 	}
 	reqID, op := fields[0], strings.ToUpper(fields[1])
 	var cmd model.Value
+	var key string
 	switch op {
 	case "SET":
 		if len(fields) != 4 {
 			return "ERR usage: CMD <reqID> SET <key> <value>"
 		}
-		cmd = kv.Command(reqID, "SET", fields[2], fields[3])
+		key = fields[2]
+		cmd = kv.Command(reqID, "SET", key, fields[3])
 	case "DEL":
 		if len(fields) != 3 {
 			return "ERR usage: CMD <reqID> DEL <key>"
 		}
-		cmd = kv.Command(reqID, "DEL", fields[2], "")
+		key = fields[2]
+		cmd = kv.Command(reqID, "DEL", key, "")
 	default:
 		return "ERR unknown op " + op
 	}
 	if !smr.Admissible(cmd) {
 		return "ERR inadmissible command"
 	}
-	n.replica.Submit(cmd)
-	n.kickDispatcher()
+	g, redirect := c.route(key)
+	if redirect != "" {
+		return redirect
+	}
+	g.replica.Submit(cmd)
+	g.kickDispatcher()
 	return "QUEUED"
 }
 
@@ -1007,7 +1235,7 @@ func handleCmd(c *clientConn, fields []string) string {
 // re-encodes the envelope the SMR layer will carry.
 func handleAuthCmd(c *clientConn, fields []string) string {
 	n := c.n
-	if n.authCtx == nil {
+	if n.groups[0].authCtx == nil {
 		return "ERR client authentication not enabled"
 	}
 	if c.sessioned {
@@ -1035,6 +1263,10 @@ func handleAuthCmd(c *clientConn, fields []string) string {
 	if errResp != "" {
 		return errResp
 	}
+	g, redirect := c.route(key)
+	if redirect != "" {
+		return redirect
+	}
 	payload := kv.AuthPayload(uint32(client), seq, op, key, value)
 	enc, err := wire.EncodeCommand(wire.CommandEnvelope{
 		Client:  uint32(client),
@@ -1049,10 +1281,10 @@ func handleAuthCmd(c *clientConn, fields []string) string {
 	if !smr.Admissible(cmd) {
 		return "ERR inadmissible command"
 	}
-	if !n.authCtx.VerifyValue(cmd) {
+	if !g.authCtx.VerifyValue(cmd) {
 		return c.strike("ERR unauthenticated command")
 	}
-	return queueVerified(c, cmd)
+	return queueVerified(c, g, cmd)
 }
 
 // handleSessionHello authenticates a client connection once: SHELLO
@@ -1063,7 +1295,7 @@ func handleAuthCmd(c *clientConn, fields []string) string {
 // client key, and every handshake derives a fresh session key.
 func handleSessionHello(c *clientConn, fields []string) string {
 	n := c.n
-	if n.authCtx == nil {
+	if n.groups[0].authCtx == nil {
 		return "ERR client authentication not enabled"
 	}
 	if c.sessioned {
@@ -1099,6 +1331,9 @@ func handleSessionHello(c *clientConn, fields []string) string {
 	c.sessioned = true
 	c.client = uint32(client)
 	c.key = auth.ClientSessionKey(key, uint32(client), nonce, serverNonce[:])
+	// One MACer per connection: the handler goroutine is the only caller,
+	// and the midstate cache halves the per-line verification cost.
+	c.macer = auth.NewSessionMACer(c.key)
 	c.signer = auth.NewClientSigner(n.cfg.ClientSeed, uint32(client))
 	c.lastSeq = 0
 	return fmt.Sprintf("SESSION %s %s", hex.EncodeToString(serverNonce[:]), hex.EncodeToString(ack))
@@ -1110,10 +1345,10 @@ func handleSessionHello(c *clientConn, fields []string) string {
 // strictly increasing sequence check, the node mints the command envelope
 // itself under the client's key (identical bytes to what the client would
 // have produced — the request id and MAC derive from (client, seq)) and
-// feeds it to the pipeline pre-verified, so the chooser answers provenance
-// from the session instead of re-running HMACs per value.
+// feeds it to the owning group's pipeline pre-verified, so the chooser
+// answers provenance from the session instead of re-running HMACs per
+// value.
 func handleSessionCmd(c *clientConn, fields []string) string {
-	n := c.n
 	if !c.sessioned {
 		return c.strike("ERR no session (use SHELLO)")
 	}
@@ -1132,11 +1367,18 @@ func handleSessionCmd(c *clientConn, fields []string) string {
 	if errResp != "" {
 		return errResp
 	}
+	// Redirect before the MAC: the mapping is public (a seedless hash), so
+	// answering it unauthenticated leaks nothing, and a misrouted client
+	// should not burn a verification per redirected line.
+	g, redirect := c.route(key)
+	if redirect != "" {
+		return redirect
+	}
 	if seq <= c.lastSeq {
 		return c.strike("ERR session sequence not increasing")
 	}
 	payload := kv.AuthPayload(c.client, seq, op, key, value)
-	if !auth.CheckSessionMAC(c.key, seq, []byte(payload), tag) {
+	if !c.macer.Check(seq, []byte(payload), tag) {
 		return c.strike("ERR session tag rejected")
 	}
 	c.lastSeq = seq
@@ -1152,8 +1394,8 @@ func handleSessionCmd(c *clientConn, fields []string) string {
 	// The session tag just authenticated these exact bytes and the envelope
 	// was minted under the client's real key; re-verifying the HMAC in the
 	// chooser would be pure waste.
-	n.authCtx.Preverify(cmd, c.client, seq)
-	return queueVerified(c, cmd)
+	g.authCtx.Preverify(cmd, c.client, seq)
+	return queueVerified(c, g, cmd)
 }
 
 // parseWriteOp parses the trailing SET/DEL clause shared by every write
@@ -1177,22 +1419,22 @@ func parseWriteOp(fields []string, prefix string) (op, key, value, errResp strin
 }
 
 // queueVerified runs the replay check and submits an already-authenticated
-// command, sharing the race diagnostics between ACMD and SCMD.
-func queueVerified(c *clientConn, cmd model.Value) string {
-	n := c.n
-	if n.authCtx.Replayed(cmd) {
+// command to its owning group, sharing the race diagnostics between ACMD
+// and SCMD.
+func queueVerified(c *clientConn, g *group, cmd model.Value) string {
+	if g.authCtx.Replayed(cmd) {
 		return "ERR replayed sequence"
 	}
-	if !n.replica.Submit(cmd) {
+	if !g.replica.Submit(cmd) {
 		// The pre-checks passed, so the drop means either the identity is
 		// claimed by a different queued payload (an equivocating client
 		// double-signing one seq) or the command committed in the race
 		// since the pre-check.
-		if n.authCtx.Replayed(cmd) {
+		if g.authCtx.Replayed(cmd) {
 			return "ERR replayed sequence"
 		}
 		return "ERR duplicate identity"
 	}
-	n.kickDispatcher()
+	g.kickDispatcher()
 	return "QUEUED"
 }

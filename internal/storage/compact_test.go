@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"genconsensus/internal/model"
+)
+
+// TestDiskCompactionStallNeverBlocksAppend pins the satellite guarantee of
+// the background compactor: a WAL rewrite that takes arbitrarily long must
+// not block the commit path (AppendWAL) or the logical view of the log.
+func TestDiskCompactionStallNeverBlocksAppend(t *testing.T) {
+	d, err := OpenDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Stall every rewrite until released; entered signals the compactor is
+	// inside the stalled (unlocked) phase.
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	d.mu.Lock()
+	d.compactHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	d.mu.Unlock()
+
+	for i := uint64(1); i <= 10; i++ {
+		if err := d.AppendWAL(i, model.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Truncate returns immediately even though the rewrite cannot proceed.
+	start := time.Now()
+	if err := d.TruncateWAL(5); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("TruncateWAL blocked %v on a stalled compactor", waited)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compactor never started")
+	}
+
+	// With the compactor wedged mid-rewrite, appends must still land
+	// promptly — this is the LogDecision path of every commit.
+	appendDone := make(chan error, 1)
+	go func() {
+		for i := uint64(11); i <= 200; i++ {
+			if err := d.AppendWAL(i, model.Value(fmt.Sprintf("v%d", i))); err != nil {
+				appendDone <- err
+				return
+			}
+		}
+		appendDone <- nil
+	}()
+	select {
+	case err := <-appendDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("AppendWAL blocked behind a stalled compaction")
+	}
+
+	// The logical view reflects the truncation even before the rewrite.
+	if got := records(t, d); len(got) != 195 || got[0].instance != 6 {
+		t.Fatalf("replay during stalled compaction: %d records, first %+v", len(got), got[0])
+	}
+
+	// Release the compactor and wait it out: the physical log now matches
+	// the logical view and survives a reopen.
+	close(release)
+	d.CompactWait()
+	d.mu.Lock()
+	d.compactHook = nil
+	d.mu.Unlock()
+	if got := records(t, d); len(got) != 195 || got[0].instance != 6 || got[194].instance != 200 {
+		t.Fatalf("replay after compaction: %d records", len(got))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err = OpenDisk(DiskConfig{Dir: d.cfg.Dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if got := records(t, d); len(got) != 195 || got[0].instance != 6 {
+		t.Fatalf("replay after reopen: %d records", len(got))
+	}
+}
+
+// TestDiskCompactionCoalesces checks that watermarks enqueued while a
+// rewrite is stalled merge: the eventual rewrite applies the newest one,
+// and re-decided instances appended after their truncation survive.
+func TestDiskCompactionCoalesces(t *testing.T) {
+	d, err := OpenDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	d.mu.Lock()
+	d.compactHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	d.mu.Unlock()
+
+	for i := uint64(1); i <= 20; i++ {
+		if err := d.AppendWAL(i, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.TruncateWAL(5); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := d.TruncateWAL(12); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated instance re-decided after the newest watermark survives.
+	if err := d.AppendWAL(3, "re-decided"); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	d.CompactWait()
+	d.mu.Lock()
+	d.compactHook = nil
+	d.mu.Unlock()
+
+	got := records(t, d)
+	want := []uint64{13, 14, 15, 16, 17, 18, 19, 20, 3}
+	if len(got) != len(want) {
+		t.Fatalf("replay after coalesced compaction: %+v", got)
+	}
+	for i, inst := range want {
+		if got[i].instance != inst {
+			t.Fatalf("record %d = %+v, want instance %d", i, got[i], inst)
+		}
+	}
+}
+
+func records(t *testing.T, b Backend) []memRecord {
+	t.Helper()
+	var got []memRecord
+	if err := b.ReplayWAL(func(instance uint64, value model.Value) error {
+		got = append(got, memRecord{instance, value})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}

@@ -34,6 +34,12 @@ type DiskConfig struct {
 }
 
 // Disk is the durable Backend: a WAL file plus a checkpoint directory.
+//
+// WAL truncation is asynchronous: TruncateWAL applies the watermark
+// logically (replay and the dedup filter observe it immediately) and a
+// background compactor goroutine performs the physical rewrite, so the
+// commit path never waits out a log rewrite. Close drains the compactor
+// before releasing the files.
 type Disk struct {
 	cfg DiskConfig
 
@@ -41,6 +47,16 @@ type Disk struct {
 	wal    *wal
 	snaps  *snapStore
 	closed bool
+
+	compacting  bool       // a rewrite is in flight
+	compactErr  error      // last rewrite failure (pending watermark kept)
+	compactIdle *sync.Cond // broadcast when the compactor goes idle
+	compactHook func()     // test hook, called unlocked before each rewrite
+
+	compactKick chan struct{}
+	compactStop chan struct{}
+	compactDone chan struct{}
+	stopOnce    sync.Once
 }
 
 // OpenDisk opens (or initializes) a replica's data directory, recovering
@@ -77,7 +93,86 @@ func OpenDisk(cfg DiskConfig) (*Disk, error) {
 		_ = w.close()
 		return nil, err
 	}
-	return &Disk{cfg: cfg, wal: w, snaps: s}, nil
+	d := &Disk{
+		cfg:         cfg,
+		wal:         w,
+		snaps:       s,
+		compactKick: make(chan struct{}, 1),
+		compactStop: make(chan struct{}),
+		compactDone: make(chan struct{}),
+	}
+	d.compactIdle = sync.NewCond(&d.mu)
+	go d.compactLoop()
+	return d, nil
+}
+
+// compactLoop is the background WAL compactor: it wakes on every enqueued
+// truncation, rewrites the log, and drains any remaining work before
+// exiting at Close.
+func (d *Disk) compactLoop() {
+	defer close(d.compactDone)
+	for {
+		select {
+		case <-d.compactKick:
+			d.drainCompaction()
+		case <-d.compactStop:
+			d.drainCompaction()
+			return
+		}
+	}
+}
+
+// drainCompaction rewrites the WAL until no truncation is pending. Each
+// rewrite scans the frozen log prefix without the Disk lock (appends
+// proceed concurrently) and takes the lock only for the bounded tail-copy
+// and file swap. A rewrite failure is logged and leaves the pending
+// watermark in place — replay stays logically truncated — without
+// retrying until the next checkpoint enqueues a fresh watermark.
+func (d *Disk) drainCompaction() {
+	for {
+		d.mu.Lock()
+		if d.closed || !d.wal.pendSet {
+			d.compacting = false
+			d.compactIdle.Broadcast()
+			d.mu.Unlock()
+			return
+		}
+		through, limit := d.wal.pendThrough, d.wal.pendOffset
+		f := d.wal.f
+		hook := d.compactHook
+		d.compacting = true
+		d.mu.Unlock()
+
+		if hook != nil {
+			hook()
+		}
+		tmp, tmpSize, err := compactScan(d.wal.path, f, through, limit)
+
+		d.mu.Lock()
+		if err == nil {
+			err = d.wal.compactFinish(tmp, tmpSize, limit, through)
+		}
+		d.compactErr = err
+		if err != nil {
+			d.cfg.Logf("storage: %s: wal compaction: %v", d.cfg.Dir, err)
+			d.compacting = false
+			d.compactIdle.Broadcast()
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Unlock()
+	}
+}
+
+// CompactWait blocks until no WAL compaction is pending or in flight (or
+// until one fails) — the fence tests and metrics use to observe the
+// physical log.
+func (d *Disk) CompactWait() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.compacting || (d.wal.pendSet && d.compactErr == nil && !d.closed) {
+		d.compactIdle.Wait()
+	}
 }
 
 // AppendWAL implements Backend.
@@ -90,25 +185,37 @@ func (d *Disk) AppendWAL(instance uint64, value model.Value) error {
 	return d.wal.append(instance, value)
 }
 
-// ReplayWAL implements Backend.
+// ReplayWAL implements Backend. Records covered by a pending (not yet
+// physically compacted) truncation are filtered out, so callers observe
+// truncation immediately.
 func (d *Disk) ReplayWAL(fn func(instance uint64, value model.Value) error) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
-	_, err := d.wal.scan(fn)
-	return err
+	return d.wal.replay(fn)
 }
 
-// TruncateWAL implements Backend.
+// TruncateWAL implements Backend. The truncation is applied logically and
+// returns immediately; the physical rewrite runs on the compactor
+// goroutine, so checkpointing never stalls the commit path behind a log
+// rewrite.
 func (d *Disk) TruncateWAL(through uint64) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return ErrClosed
 	}
-	return d.wal.truncate(through)
+	queued := d.wal.truncateEnqueue(through)
+	d.mu.Unlock()
+	if queued {
+		select {
+		case d.compactKick <- struct{}{}:
+		default: // a wake-up is already pending; the drain loop coalesces
+		}
+	}
+	return nil
 }
 
 // SaveSnapshot implements Backend.
@@ -141,8 +248,12 @@ func (d *Disk) Sync() error {
 	return d.wal.sync()
 }
 
-// Close implements Backend.
+// Close implements Backend. It drains the compactor first, so any pending
+// truncation is physically applied before the files are released and a
+// reopen never resurrects logically truncated records.
 func (d *Disk) Close() error {
+	d.stopOnce.Do(func() { close(d.compactStop) })
+	<-d.compactDone
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {

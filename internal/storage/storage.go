@@ -52,7 +52,12 @@ type Backend interface {
 	// from fn aborts the replay and is returned.
 	ReplayWAL(fn func(instance uint64, value model.Value) error) error
 	// TruncateWAL drops every record with instance ≤ through — the records
-	// a checkpoint at `through` covers.
+	// a checkpoint at `through` covers. The drop is immediate in every
+	// observable way (ReplayWAL, the append dedup filter) but the physical
+	// reclamation may happen asynchronously: Disk rewrites the log on a
+	// background compactor so the commit path never waits, and a crash
+	// before the rewrite merely replays records the recovery path filters
+	// against the checkpoint anyway.
 	TruncateWAL(through uint64) error
 	// SaveSnapshot durably records a checkpoint. Snapshots at or below the
 	// newest stored checkpoint are dropped without error.

@@ -43,6 +43,16 @@ type wal struct {
 
 	unsynced int
 	have     map[uint64]struct{}
+	// Pending logical truncation, applied physically by the background
+	// compactor. truncateEnqueue removes the instances from `have` and
+	// records (watermark, end-of-log offset) here; until the rewrite runs,
+	// replay drops any record with instance ≤ pendThrough that sits below
+	// pendOffset — exactly the records a synchronous truncate would have
+	// removed — so callers observe truncation immediately while the commit
+	// path never waits for the rewrite.
+	pendSet     bool
+	pendThrough uint64
+	pendOffset  int64
 	// size is the offset of the end of the last good record: appends that
 	// fail partway are rolled back to it so a torn frame can never orphan
 	// the appends after it.
@@ -152,11 +162,14 @@ func (w *wal) reset() error {
 }
 
 // scan walks the record stream from the start, calling fn for every
-// CRC-clean record, and returns the offset just past the last good record.
-// Corruption (bad length, CRC mismatch, short read) ends the scan without
-// error: the tear boundary is data, not failure.
-func (w *wal) scan(fn func(instance uint64, value model.Value) error) (int64, error) {
-	r := io.NewSectionReader(w.f, 0, 1<<62)
+// CRC-clean record with the offset its frame starts at, and returns the
+// offset just past the last good record. Corruption (bad length, CRC
+// mismatch, short read) ends the scan without error: the tear boundary is
+// data, not failure. Reading goes through a SectionReader (pread), so a
+// scan over a bounded prefix is safe concurrently with appends at the end
+// of the file — the property the background compactor relies on.
+func scanRecords(f *os.File, limit int64, fn func(off int64, instance uint64, value model.Value) error) (int64, error) {
+	r := io.NewSectionReader(f, 0, limit)
 	if _, err := r.Seek(int64(len(walHeader)), io.SeekStart); err != nil {
 		return 0, err
 	}
@@ -183,11 +196,38 @@ func (w *wal) scan(fn func(instance uint64, value model.Value) error) (int64, er
 			return good, nil // bit rot or tear inside the record
 		}
 		instance := binary.BigEndian.Uint64(body[0:8])
-		if err := fn(instance, model.Value(body[8:])); err != nil {
+		if err := fn(good, instance, model.Value(body[8:])); err != nil {
 			return good, err
 		}
 		good += int64(8 + len(body))
 	}
+}
+
+func (w *wal) scan(fn func(instance uint64, value model.Value) error) (int64, error) {
+	return scanRecords(w.f, 1<<62, func(_ int64, instance uint64, value model.Value) error {
+		return fn(instance, value)
+	})
+}
+
+// replay is scan minus the logically truncated records: anything a pending
+// (not yet physically compacted) truncation covers is skipped, so callers
+// see the same stream a synchronous truncate would have left.
+func (w *wal) replay(fn func(instance uint64, value model.Value) error) error {
+	_, err := scanRecords(w.f, 1<<62, func(off int64, instance uint64, value model.Value) error {
+		if w.truncated(off, instance) {
+			return nil
+		}
+		return fn(instance, value)
+	})
+	return err
+}
+
+// truncated reports whether a record at the given offset is covered by the
+// pending truncation: at or below the watermark AND written before the
+// truncate was enqueued. The offset bound keeps a legitimately re-decided
+// instance (re-appended after the truncate) alive.
+func (w *wal) truncated(off int64, instance uint64) bool {
+	return w.pendSet && instance <= w.pendThrough && off < w.pendOffset
 }
 
 // append writes one record (write-ahead of the apply), honouring the fsync
@@ -246,40 +286,53 @@ func (w *wal) syncFile() error {
 	return nil
 }
 
-// truncate rewrites the WAL keeping only records with instance > through:
-// the surviving window is written to a temp file which atomically replaces
-// the log, so a crash mid-truncate leaves either the old or the new file,
-// never a hybrid. When nothing falls below the boundary — every boot-time
-// re-Install of the already-persisted newest checkpoint lands here — the
-// rewrite is skipped entirely.
-func (w *wal) truncate(through uint64) error {
+// truncateEnqueue applies a truncation logically — instances at or below
+// the watermark leave the dedup set immediately, and replay starts
+// filtering them — and records the (watermark, end-of-log offset) pair for
+// the background compactor. It reports whether there is anything for the
+// compactor to do. When nothing falls below the boundary — every boot-time
+// re-Install of the already-persisted newest checkpoint lands here — it is
+// a no-op.
+func (w *wal) truncateEnqueue(through uint64) bool {
 	drop := false
 	for instance := range w.have {
 		if instance <= through {
+			delete(w.have, instance)
 			drop = true
-			break
 		}
 	}
 	if !drop {
-		return nil
+		return false
 	}
-	tmpPath := w.path + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	// Merging with an earlier pending truncation keeps the larger
+	// watermark and advances the offset bound to now — exactly the records
+	// a synchronous truncate at `through` would remove at this moment.
+	if !w.pendSet || through >= w.pendThrough {
+		w.pendThrough = through
+		w.pendOffset = w.size
+		w.pendSet = true
+	}
+	return true
+}
+
+// compactScan is the unlocked phase of a WAL rewrite: it copies every
+// surviving record (instance > through) from the frozen prefix [0, limit)
+// of f into a fresh temp file. It reads via pread only, so appends landing
+// past `limit` concurrently are unaffected; the locked compactFinish phase
+// copies them over verbatim afterwards. Only the compactor calls this.
+func compactScan(path string, f *os.File, through uint64, limit int64) (*os.File, int64, error) {
+	tmpPath := path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
-		return fmt.Errorf("storage: wal truncate: %w", err)
+		return nil, 0, fmt.Errorf("storage: wal compact: %w", err)
 	}
-	defer func() {
-		if tmp != nil {
-			_ = tmp.Close()
-			_ = os.Remove(tmpPath)
-		}
-	}()
 	if _, err := tmp.Write([]byte(walHeader)); err != nil {
-		return fmt.Errorf("storage: wal truncate: %w", err)
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+		return nil, 0, fmt.Errorf("storage: wal compact: %w", err)
 	}
-	kept := make(map[uint64]struct{}, len(w.have))
 	size := int64(len(walHeader))
-	if _, err := w.scan(func(instance uint64, value model.Value) error {
+	if _, err := scanRecords(f, limit, func(_ int64, instance uint64, value model.Value) error {
 		if instance <= through {
 			return nil
 		}
@@ -288,37 +341,85 @@ func (w *wal) truncate(through uint64) error {
 			return err
 		}
 		size += int64(len(rec))
-		kept[instance] = struct{}{}
 		return nil
 	}); err != nil {
-		return fmt.Errorf("storage: wal truncate: %w", err)
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+		return nil, 0, fmt.Errorf("storage: wal compact: %w", err)
+	}
+	return tmp, size, nil
+}
+
+// compactFinish is the locked phase of a WAL rewrite (the caller holds the
+// Disk mutex): it appends the tail the log grew past `limit` during the
+// unlocked scan to the temp file verbatim, makes the temp file durable,
+// atomically replaces the log with it, and swaps the handle. The tail copy
+// is bounded by how much the log grew during the scan, so the lock is held
+// for a short, bounded time — the commit path never waits out a full
+// rewrite.
+func (w *wal) compactFinish(tmp *os.File, tmpSize, limit int64, through uint64) error {
+	tmpPath := w.path + ".tmp"
+	scanSize := tmpSize // end of the rewritten prefix, before the tail copy
+	fail := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+		return err
+	}
+	buf := make([]byte, 64<<10)
+	for off := limit; off < w.size; {
+		n := w.size - off
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		if _, err := w.f.ReadAt(buf[:n], off); err != nil {
+			return fail(fmt.Errorf("storage: wal compact tail read: %w", err))
+		}
+		if _, err := tmp.Write(buf[:n]); err != nil {
+			return fail(fmt.Errorf("storage: wal compact tail write: %w", err))
+		}
+		off += n
+		tmpSize += n
 	}
 	if w.fsync {
 		if err := tmp.Sync(); err != nil {
-			return fmt.Errorf("storage: wal truncate fsync: %w", err)
+			return fail(fmt.Errorf("storage: wal compact fsync: %w", err))
 		}
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("storage: wal truncate: %w", err)
+		_ = os.Remove(tmpPath)
+		return fmt.Errorf("storage: wal compact: %w", err)
 	}
-	tmp = nil
 	if err := os.Rename(tmpPath, w.path); err != nil {
-		return fmt.Errorf("storage: wal truncate rename: %w", err)
+		_ = os.Remove(tmpPath)
+		return fmt.Errorf("storage: wal compact rename: %w", err)
 	}
 	_ = w.f.Close()
 	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: reopening wal: %w", err)
 	}
-	if _, err := f.Seek(size, io.SeekStart); err != nil {
+	if _, err := f.Seek(tmpSize, io.SeekStart); err != nil {
 		_ = f.Close()
 		return fmt.Errorf("storage: wal seek: %w", err)
 	}
 	w.f = f
-	w.have = kept
-	w.size = size
+	w.size = tmpSize
 	w.unsynced = 0
 	w.broken = false
+	// The pending truncation we captured is done; a newer watermark merged
+	// in mid-rewrite keeps filtering replay, with its offset bound
+	// translated into the new file: bytes past `limit` were copied
+	// verbatim to `scanSize`, so old offset o ≥ limit lands at
+	// scanSize + (o - limit). The translation is exact — a record
+	// appended after the newer truncate stays past its bound and
+	// survives, just as it would under a synchronous truncate.
+	if w.pendSet {
+		if w.pendThrough <= through && w.pendOffset <= limit {
+			w.pendSet = false
+		} else if w.pendOffset >= limit {
+			w.pendOffset = scanSize + (w.pendOffset - limit)
+		}
+	}
 	return syncDir(filepath.Dir(w.path), w.fsync)
 }
 

@@ -84,6 +84,9 @@ type Conn struct {
 	peer model.PID
 	// key is the derived per-connection session key.
 	key auth.MACKey
+	// macer caches the session key's HMAC midstates; only the read loop
+	// touches it.
+	macer *auth.SessionMACer
 	// recvSeq is the highest session sequence accepted so far.
 	recvSeq uint64
 	// authFails counts recoverable verification failures (see strike).
@@ -213,6 +216,7 @@ func (n *Node) handleHello(c *Conn, payload []byte) error {
 	c.sessioned = true
 	c.peer = peer
 	c.key = auth.SessionKey(pair, peer, h.Nonce[:], ack.Nonce[:])
+	c.macer = auth.NewSessionMACer(c.key)
 	c.recvSeq = 0
 	return nil
 }
@@ -244,7 +248,7 @@ func (n *Node) handleSessionFrame(c *Conn, payload []byte) error {
 	if inst, ok := wire.PeekInstance(inner); ok && n.instanceReleased(inst) {
 		return nil
 	}
-	if !auth.CheckSessionMAC(c.key, seq, inner, tag) {
+	if !c.macer.Check(seq, inner, tag) {
 		return errBadSessionTag
 	}
 	c.recvSeq = seq
@@ -266,10 +270,11 @@ func (n *Node) handleSessionFrame(c *Conn, payload []byte) error {
 // the queue with vectored writes. The session sequence is allocated under
 // the same mutex as the append, so wire order always equals sequence order.
 type peerConn struct {
-	node *Node
-	dst  model.PID
-	conn net.Conn
-	key  auth.MACKey
+	node  *Node
+	dst   model.PID
+	conn  net.Conn
+	key   auth.MACKey
+	macer *auth.SessionMACer // guarded by mu, like the sequence it signs
 
 	mu      sync.Mutex
 	pending [][]byte // completed frames (owned until handed to the flusher)
@@ -322,6 +327,7 @@ func (n *Node) connTo(dst model.PID) *peerConn {
 		dst:    dst,
 		conn:   c,
 		key:    key,
+		macer:  auth.NewSessionMACer(key),
 		signal: make(chan struct{}, 1),
 	}
 	n.conns[dst] = pc
@@ -398,7 +404,7 @@ func (pc *peerConn) enqueue(env wire.Envelope) bool {
 	buf := wire.BeginFrame(wire.GetFrame())
 	buf = append(buf, wire.SessionVersion)
 	buf = binary.BigEndian.AppendUint64(buf, seq)
-	buf = auth.SessionMAC(buf, pc.key, seq, inner)
+	buf = pc.macer.Append(buf, seq, inner)
 	buf = append(buf, inner...)
 	buf, err := wire.FinishFrame(buf)
 	if err != nil {

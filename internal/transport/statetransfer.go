@@ -39,11 +39,19 @@ var (
 	ErrDecisionQuorum = errors.New("transport: no decided value matched by the required quorum")
 )
 
-// SetSnapshotProvider installs the checkpoint source served to peers.
+// SetSnapshotProvider installs group 0's checkpoint source — the whole
+// node's source in an unsharded deployment.
 func (n *Node) SetSnapshotProvider(p SnapshotProvider) {
+	n.SetGroupSnapshotProvider(0, p)
+}
+
+// SetGroupSnapshotProvider installs the checkpoint source served to peers
+// recovering group g. Each group checkpoints its own state machine, so a
+// sharded node registers one provider per group.
+func (n *Node) SetGroupSnapshotProvider(g wire.GroupID, p SnapshotProvider) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.provider = p
+	n.group(g).provider = p
 }
 
 // SetPeers replaces the peer address map — used when addresses are known
@@ -64,30 +72,39 @@ func (n *Node) SetPeers(peers map[model.PID]string) {
 // target — so the effective ring depth adapts to the decided values: deep
 // for small decisions, shallow for bursts of maximum-size batches. The
 // newest decision is always retained, even if it alone exceeds the budget.
+// Rings are per group: the instance id is a packed (group, instance) pair,
+// and each group gets the full entry and byte budget, so one group's burst
+// of maximum-size batches cannot evict another group's catch-up window.
 func (n *Node) RecordDecision(instance uint64, decided model.Value) {
+	g, local := wire.SplitGID(instance)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.decisions[instance]; ok {
+	gs := n.group(g)
+	if _, ok := gs.decisions[local]; ok {
 		return
 	}
-	n.decisions[instance] = decided
-	n.decisionLog = append(n.decisionLog, instance)
-	n.decisionBytes += len(decided)
-	for len(n.decisionLog) > 1 &&
-		(len(n.decisionLog) > n.cfg.DecisionCache || n.decisionBytes > n.cfg.DecisionCacheBytes) {
-		oldest := n.decisionLog[0]
-		n.decisionBytes -= len(n.decisions[oldest])
-		delete(n.decisions, oldest)
-		n.decisionLog = n.decisionLog[1:]
+	gs.decisions[local] = decided
+	gs.decisionLog = append(gs.decisionLog, local)
+	gs.decisionBytes += len(decided)
+	for len(gs.decisionLog) > 1 &&
+		(len(gs.decisionLog) > n.cfg.DecisionCache || gs.decisionBytes > n.cfg.DecisionCacheBytes) {
+		oldest := gs.decisionLog[0]
+		gs.decisionBytes -= len(gs.decisions[oldest])
+		delete(gs.decisions, oldest)
+		gs.decisionLog = gs.decisionLog[1:]
 	}
 }
 
-// DecisionCacheStats reports the ring's current entry count and decided-
-// value bytes (budget tests and metrics).
+// DecisionCacheStats reports the rings' current entry count and decided-
+// value bytes, summed across groups (budget tests and metrics).
 func (n *Node) DecisionCacheStats() (entries, bytes int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return len(n.decisionLog), n.decisionBytes
+	for _, gs := range n.groups {
+		entries += len(gs.decisionLog)
+		bytes += gs.decisionBytes
+	}
+	return entries, bytes
 }
 
 // handleSnapFrame serves one authenticated state-transfer request
@@ -114,8 +131,15 @@ func (n *Node) handleSnapFrame(conn net.Conn, payload []byte) {
 	if env.Kind != wire.SnapRequest {
 		return // chunks flow request→response only; anything else is noise
 	}
+	// A snapshot request names its group in the otherwise-unused
+	// LastInstance field (packed, instance part zero): group-0 requests
+	// stay byte-identical to the pre-shard format.
+	g, _ := wire.SplitGID(env.LastInstance)
+	if int(g) >= n.cfg.Groups {
+		return
+	}
 	n.mu.Lock()
-	provider := n.provider
+	provider := n.group(g).provider
 	n.mu.Unlock()
 	var snap *snapshot.Snapshot
 	ok := false
@@ -158,11 +182,17 @@ func (n *Node) handleSnapFrame(conn net.Conn, payload []byte) {
 	}
 }
 
-// serveDecision answers one DecisionRequest from the cache (SnapNone when
-// evicted or never seen).
+// serveDecision answers one DecisionRequest from the requested group's
+// cache (SnapNone when evicted or never seen). The reply echoes the packed
+// (group, instance) id the requester asked for.
 func (n *Node) serveDecision(conn net.Conn, key auth.MACKey, instance uint64) {
+	g, local := wire.SplitGID(instance)
 	n.mu.Lock()
-	decided, ok := n.decisions[instance]
+	var decided model.Value
+	ok := false
+	if gs, have := n.groups[g]; have {
+		decided, ok = gs.decisions[local]
+	}
 	n.mu.Unlock()
 	reply := wire.SnapEnvelope{Kind: wire.SnapNone, Sender: n.cfg.ID, LastInstance: instance}
 	if ok {
@@ -264,11 +294,16 @@ func (n *Node) FetchVerifiedDecision(peers []model.PID, instance uint64, quorum 
 		ErrDecisionQuorum, instance, quorum, len(peers), errors.Join(fetchErrs...))
 }
 
-// FetchSnapshot retrieves one peer's latest checkpoint over a dedicated
-// connection: request, chunked response, MAC check per frame, digest check
-// over the reassembled encoding. The returned digest is what
-// FetchVerifiedSnapshot compares across peers.
+// FetchSnapshot retrieves one peer's latest group-0 checkpoint.
 func (n *Node) FetchSnapshot(from model.PID, timeout time.Duration) (*snapshot.Snapshot, [32]byte, error) {
+	return n.FetchGroupSnapshot(from, 0, timeout)
+}
+
+// FetchGroupSnapshot retrieves one peer's latest checkpoint for group g
+// over a dedicated connection: request, chunked response, MAC check per
+// frame, digest check over the reassembled encoding. The returned digest
+// is what FetchVerifiedGroupSnapshot compares across peers.
+func (n *Node) FetchGroupSnapshot(from model.PID, g wire.GroupID, timeout time.Duration) (*snapshot.Snapshot, [32]byte, error) {
 	var zero [32]byte
 	n.mu.Lock()
 	addr, ok := n.cfg.Peers[from]
@@ -288,7 +323,7 @@ func (n *Node) FetchSnapshot(from model.PID, timeout time.Duration) (*snapshot.S
 	_ = conn.SetDeadline(time.Now().Add(timeout))
 
 	key := auth.PairKey(n.cfg.AuthSeed, n.cfg.ID, from)
-	req := wire.SnapEnvelope{Kind: wire.SnapRequest, Sender: n.cfg.ID}
+	req := wire.SnapEnvelope{Kind: wire.SnapRequest, Sender: n.cfg.ID, LastInstance: wire.PackGID(g, 0)}
 	req.Auth = auth.MAC(key, wire.SnapVerifyPayload(req))
 	if err := wire.WriteFrame(conn, wire.EncodeSnap(req)); err != nil {
 		return nil, zero, fmt.Errorf("transport: requesting snapshot from %d: %w", from, err)
@@ -358,13 +393,20 @@ func (n *Node) FetchSnapshot(from model.PID, timeout time.Duration) (*snapshot.S
 	return snap, sum, nil
 }
 
-// FetchVerifiedSnapshot fetches checkpoints from the given peers in
-// parallel and returns the newest snapshot whose digest at least `quorum`
-// of them agree on. With quorum b+1 a Byzantine minority can neither forge
-// a snapshot (an honest peer must match it) nor poison the fetch (honest
-// majorities still reach quorum among themselves). Peers that are down,
-// have no checkpoint yet or fail verification simply don't vote.
+// FetchVerifiedSnapshot fetches group-0 checkpoints with quorum
+// verification — the whole recovery path in an unsharded deployment.
 func (n *Node) FetchVerifiedSnapshot(peers []model.PID, quorum int, timeout time.Duration) (*snapshot.Snapshot, error) {
+	return n.FetchVerifiedGroupSnapshot(peers, 0, quorum, timeout)
+}
+
+// FetchVerifiedGroupSnapshot fetches group g's checkpoints from the given
+// peers in parallel and returns the newest snapshot whose digest at least
+// `quorum` of them agree on. With quorum b+1 a Byzantine minority can
+// neither forge a snapshot (an honest peer must match it) nor poison the
+// fetch (honest majorities still reach quorum among themselves). Peers
+// that are down, have no checkpoint yet or fail verification simply don't
+// vote.
+func (n *Node) FetchVerifiedGroupSnapshot(peers []model.PID, g wire.GroupID, quorum int, timeout time.Duration) (*snapshot.Snapshot, error) {
 	if quorum < 1 {
 		quorum = 1
 	}
@@ -383,7 +425,7 @@ func (n *Node) FetchVerifiedSnapshot(peers []model.PID, quorum int, timeout time
 		wg.Add(1)
 		go func(i int, p model.PID) {
 			defer wg.Done()
-			votes[i].snap, votes[i].digest, votes[i].err = n.FetchSnapshot(p, timeout)
+			votes[i].snap, votes[i].digest, votes[i].err = n.FetchGroupSnapshot(p, g, timeout)
 		}(i, p)
 	}
 	wg.Wait()

@@ -99,6 +99,12 @@ type Config struct {
 	// frames are dropped instead of blocking the pipeline — loss to a peer
 	// that slow is indistinguishable from a partition.
 	MaxPendingFrames int
+	// Groups is the number of consensus groups this node participates in
+	// (default 1). Instance ids on the wire are (group, instance) pairs
+	// packed by wire.PackGID; frames naming a group at or beyond this
+	// bound are dropped, so a Byzantine peer cannot allocate per-group
+	// state for groups the deployment never configured.
+	Groups int
 }
 
 // Errors returned by the transport.
@@ -121,21 +127,41 @@ type Node struct {
 	hmu      sync.RWMutex
 	handlers [256]FrameHandler // inbound dispatch by frame-family version
 
-	mu            sync.Mutex
-	conns         map[model.PID]*peerConn
-	inbound       map[net.Conn]struct{}
-	instances     map[uint64]*instanceBuf
-	released      uint64 // high-watermark of released instance ids
-	hasReleased   bool   // distinguishes "nothing released" from watermark 0
-	closed        bool
-	provider      SnapshotProvider
-	decisions     map[uint64]model.Value // recent decided values, served to laggards
-	decisionLog   []uint64               // ring order for eviction
-	decisionBytes int                    // decided-value bytes held by the ring
+	mu        sync.Mutex
+	conns     map[model.PID]*peerConn
+	inbound   map[net.Conn]struct{}
+	instances map[uint64]*instanceBuf // keyed by packed (group, instance) id
+	groups    map[wire.GroupID]*groupState
+	closed    bool
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	instAdded chan struct{} // pulsed when a new instance buffer appears
+}
+
+// groupState is the per-consensus-group slice of the node's state. Groups
+// are fully independent: each has its own release watermark (commits are
+// in-order only within a group), its own recent-decision ring (one group's
+// batch burst must not evict another group's catch-up window), and its own
+// snapshot provider (each group checkpoints its own state machine).
+type groupState struct {
+	released      uint64 // high-watermark of released group-local instance ids
+	hasReleased   bool   // distinguishes "nothing released" from watermark 0
+	provider      SnapshotProvider
+	decisions     map[uint64]model.Value // recent decided values by local id
+	decisionLog   []uint64               // ring order for eviction
+	decisionBytes int                    // decided-value bytes held by the ring
+}
+
+// group returns g's state, creating it lazily. Callers hold n.mu and have
+// already bounds-checked g against cfg.Groups.
+func (n *Node) group(g wire.GroupID) *groupState {
+	gs, ok := n.groups[g]
+	if !ok {
+		gs = &groupState{decisions: make(map[uint64]model.Value)}
+		n.groups[g] = gs
+	}
+	return gs
 }
 
 type instanceBuf struct {
@@ -192,6 +218,9 @@ func Listen(cfg Config) (*Node, error) {
 	if cfg.MaxPendingFrames <= 0 {
 		cfg.MaxPendingFrames = 4096
 	}
+	if cfg.Groups <= 0 {
+		cfg.Groups = 1
+	}
 	addr := cfg.ListenAddr
 	if addr == "" {
 		addr = cfg.Peers[cfg.ID]
@@ -207,7 +236,7 @@ func Listen(cfg Config) (*Node, error) {
 		conns:     make(map[model.PID]*peerConn),
 		inbound:   make(map[net.Conn]struct{}),
 		instances: make(map[uint64]*instanceBuf),
-		decisions: make(map[uint64]model.Value),
+		groups:    make(map[wire.GroupID]*groupState),
 		stop:      make(chan struct{}),
 		instAdded: make(chan struct{}, 1),
 	}
@@ -348,18 +377,26 @@ func (n *Node) deliverLocal(env wire.Envelope) {
 	if n.closed {
 		return
 	}
+	// Instance ids carry their group in the top bits; a group the
+	// deployment never configured is hostile or misconfigured traffic.
+	g, local := wire.SplitGID(env.Instance)
+	if int(g) >= n.cfg.Groups {
+		return
+	}
 	// Released instances are finished business: buffering a straggler would
 	// resurrect the map entry and leak it. Far-future instances are hostile
 	// or confused — without the upper bound, each fabricated id would
-	// allocate a buffer the release watermark never reaches.
+	// allocate a buffer the release watermark never reaches. Watermarks and
+	// windows are per group: commits are in-order only within a group.
+	gs := n.group(g)
 	base := uint64(0)
-	if n.hasReleased {
-		if env.Instance <= n.released {
+	if gs.hasReleased {
+		if local <= gs.released {
 			return
 		}
-		base = n.released
+		base = gs.released
 	}
-	if env.Instance > base+uint64(n.cfg.WindowInstances) {
+	if local > base+uint64(n.cfg.WindowInstances) {
 		return
 	}
 	buf, ok := n.instances[env.Instance]
@@ -531,12 +568,14 @@ func (n *Node) RunProcNotify(instance uint64, proc round.Proc, maxRounds, extraR
 	return model.NoValue, ErrNoDecision
 }
 
-// instanceReleased reports whether the instance is at or below the release
-// watermark.
+// instanceReleased reports whether the instance is at or below its group's
+// release watermark.
 func (n *Node) instanceReleased(instance uint64) bool {
+	g, local := wire.SplitGID(instance)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.hasReleased && instance <= n.released
+	gs, ok := n.groups[g]
+	return ok && gs.hasReleased && local <= gs.released
 }
 
 // HasInstance reports whether any message for the instance has been
@@ -556,14 +595,16 @@ func (n *Node) HasInstance(instance uint64) bool {
 // strictly in instance order, the high-watermark semantics match exactly
 // and bound the map by the pipeline depth.
 func (n *Node) ReleaseInstance(instance uint64) {
+	g, local := wire.SplitGID(instance)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if !n.hasReleased || instance > n.released {
-		n.released = instance
+	gs := n.group(g)
+	if !gs.hasReleased || local > gs.released {
+		gs.released = local
 	}
-	n.hasReleased = true
+	gs.hasReleased = true
 	for id := range n.instances {
-		if id <= n.released {
+		if ig, il := wire.SplitGID(id); ig == g && il <= gs.released {
 			delete(n.instances, id)
 		}
 	}
@@ -582,4 +623,19 @@ func (n *Node) InstanceCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.instances)
+}
+
+// GroupInstanceCount reports how many of the buffered instances belong to
+// group g. Per-group stall detectors use it so buffered traffic for one
+// group never makes another group look left behind.
+func (n *Node) GroupInstanceCount(g wire.GroupID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for id := range n.instances {
+		if ig, _ := wire.SplitGID(id); ig == g {
+			count++
+		}
+	}
+	return count
 }

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPackGIDGroupZeroIdentity(t *testing.T) {
+	// Group 0 packed ids must equal the bare instance id so unsharded
+	// frames are byte-identical to the pre-shard wire format.
+	for _, inst := range []uint64{0, 1, 7, 1 << 20, InstanceMask} {
+		if got := PackGID(0, inst); got != inst {
+			t.Fatalf("PackGID(0, %d) = %d, want identity", inst, got)
+		}
+	}
+}
+
+func TestPackSplitGIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		g    GroupID
+		inst uint64
+	}{
+		{0, 0}, {0, 42}, {1, 0}, {1, 99}, {3, 1 << 30}, {65535, InstanceMask},
+	}
+	for _, c := range cases {
+		packed := PackGID(c.g, c.inst)
+		g, inst := SplitGID(packed)
+		if g != c.g || inst != c.inst {
+			t.Fatalf("SplitGID(PackGID(%d, %d)) = (%d, %d)", c.g, c.inst, g, inst)
+		}
+	}
+}
+
+func TestPackGIDDisjointRanges(t *testing.T) {
+	// The same group-local instance id on different groups must map to
+	// different packed ids (groups share nothing, including id space).
+	if PackGID(0, 5) == PackGID(1, 5) {
+		t.Fatal("groups 0 and 1 collide on instance 5")
+	}
+}
+
+func TestGroupForKeyDeterministic(t *testing.T) {
+	keys := []string{"", "a", "user:12345", "lk-0", "lk-1", "lk-511"}
+	for _, k := range keys {
+		for _, s := range []int{1, 2, 4, 8} {
+			g1 := GroupForKey(k, s)
+			g2 := GroupForKey(k, s)
+			if g1 != g2 {
+				t.Fatalf("GroupForKey(%q, %d) unstable: %d vs %d", k, s, g1, g2)
+			}
+			if int(g1) >= s {
+				t.Fatalf("GroupForKey(%q, %d) = %d out of range", k, s, g1)
+			}
+		}
+		if GroupForKey(k, 1) != 0 {
+			t.Fatalf("GroupForKey(%q, 1) != 0", k)
+		}
+	}
+}
+
+func TestGroupForKeySpreads(t *testing.T) {
+	// Sanity: a synthetic keyspace should not all land on one group.
+	const shards = 4
+	var hit [shards]int
+	for i := 0; i < 256; i++ {
+		hit[GroupForKey(fmt.Sprintf("lk-%d", i), shards)]++
+	}
+	for g, n := range hit {
+		if n == 0 {
+			t.Fatalf("group %d received no keys out of 256", g)
+		}
+	}
+}
