@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth bench-disk bench-wire bench-shard fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth bench-disk bench-wire bench-shard bench-obs fmt fmt-check vet ci
 
 # Iteration budget for bench-json; CI uses the fast single pass.
 BENCHTIME ?= 1x
@@ -116,6 +116,21 @@ bench-shard:
 	$(GO) run ./cmd/benchgate -input BENCH_shard.json \
 		'BenchmarkTCPKVLoadShard/S=1:cmds/sec:$(SHARD_FLOOR)' \
 		'BenchmarkTCPKVLoadShardScaling/S=4v1:scale-x:$(SHARD_SCALE)'
+
+# Observability-overhead benchmark artifact: the identical pipelined SMR
+# load with the metrics registry on and off (wall-clock cmds/sec). benchgate
+# -ratio enforces the acceptance bound: metrics-on throughput within
+# OBS_OVERHEAD of metrics-off (0.97 = at most 3% overhead). OBS_BENCHTIME
+# should be a time budget, not 1x, so the quotient is signal, not noise.
+OBS_BENCHTIME ?= 2s
+OBS_OVERHEAD ?= 0.97
+
+bench-obs:
+	$(GO) test -bench=SMRObs -benchtime=$(OBS_BENCHTIME) -run='^$$' . > BENCH_obs.txt
+	cat BENCH_obs.txt
+	$(GO) run ./cmd/benchjson < BENCH_obs.txt > BENCH_obs.json
+	$(GO) run ./cmd/benchgate -input BENCH_obs.json \
+		-ratio 'BenchmarkSMRObs/metrics=on:BenchmarkSMRObs/metrics=off:cmds/sec:$(OBS_OVERHEAD)'
 
 fmt:
 	gofmt -w .

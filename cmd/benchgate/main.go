@@ -11,6 +11,12 @@
 //
 //	go run ./cmd/benchgate -input BENCH_wire.json 'TCPKVLoad/W=4:cmds/sec:16166'
 //	go run ./cmd/benchjson < BENCH_wire.txt | go run ./cmd/benchgate 'TCPKVLoad/W=4:cmds/sec:16166'
+//
+// -ratio gates the quotient of one metric across two benchmarks instead of
+// an absolute value — the shape of overhead bounds ("metrics-on throughput
+// within 3% of metrics-off"):
+//
+//	go run ./cmd/benchgate -input BENCH_obs.json -ratio 'SMRObs/metrics=on:SMRObs/metrics=off:cmds/sec:0.97'
 package main
 
 import (
@@ -35,12 +41,15 @@ type Report struct {
 
 func main() {
 	var (
-		input = flag.String("input", "", "benchjson report to read (empty = stdin)")
-		max   = flag.Bool("max", false, "treat every threshold as an upper bound instead of a floor")
+		input  = flag.String("input", "", "benchjson report to read (empty = stdin)")
+		max    = flag.Bool("max", false, "treat every threshold as an upper bound instead of a floor")
+		ratios []string
 	)
+	flag.Func("ratio", "gate <numerator>:<denominator>:<metric>:<min> on the metric quotient of two benchmarks (repeatable)",
+		func(s string) error { ratios = append(ratios, s); return nil })
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fail("usage: benchgate [-input report.json] [-max] <name>:<metric>:<threshold> ...")
+	if flag.NArg() == 0 && len(ratios) == 0 {
+		fail("usage: benchgate [-input report.json] [-max] [-ratio num:den:metric:min] <name>:<metric>:<threshold> ...")
 	}
 
 	in := os.Stdin
@@ -85,9 +94,71 @@ func main() {
 		}
 		fmt.Printf("benchgate: ok %s %s = %g (%s %g)\n", b.Name, metric, got, op, threshold)
 	}
+	for _, gate := range ratios {
+		numName, denName, metric, min, err := parseRatio(gate)
+		if err != nil {
+			fail(err.Error())
+		}
+		num, err := findBenchmark(report.Benchmarks, numName)
+		if err != nil {
+			fail(err.Error())
+		}
+		den, err := findBenchmark(report.Benchmarks, denName)
+		if err != nil {
+			fail(err.Error())
+		}
+		nv, ok := num.Metrics[metric]
+		if !ok {
+			fail(fmt.Sprintf("%s: no metric %q (have %s)", num.Name, metric, metricNames(num)))
+		}
+		dv, ok := den.Metrics[metric]
+		if !ok {
+			fail(fmt.Sprintf("%s: no metric %q (have %s)", den.Name, metric, metricNames(den)))
+		}
+		if dv == 0 {
+			fail(fmt.Sprintf("%s: %s is zero, ratio undefined", den.Name, metric))
+		}
+		got := nv / dv
+		if got < min {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s / %s %s = %.4f, need >= %g\n",
+				num.Name, den.Name, metric, got, min)
+			failed++
+			continue
+		}
+		fmt.Printf("benchgate: ok %s / %s %s = %.4f (>= %g)\n", num.Name, den.Name, metric, got, min)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// parseRatio splits "<num>:<den>:<metric>:<min>". Benchmark names and the
+// metric may contain "/" but not ":", so splitting on the last three colons
+// is exact.
+func parseRatio(s string) (num, den, metric string, min float64, err error) {
+	bad := func() (string, string, string, float64, error) {
+		return "", "", "", 0, fmt.Errorf("ratio gate %q: want <num>:<den>:<metric>:<min>", s)
+	}
+	last := strings.LastIndex(s, ":")
+	if last < 0 {
+		return bad()
+	}
+	min, err = strconv.ParseFloat(s[last+1:], 64)
+	if err != nil {
+		return "", "", "", 0, fmt.Errorf("ratio gate %q: bad threshold: %v", s, err)
+	}
+	rest := s[:last]
+	mid := strings.LastIndex(rest, ":")
+	if mid < 0 {
+		return bad()
+	}
+	metric = rest[mid+1:]
+	rest = rest[:mid]
+	first := strings.LastIndex(rest, ":")
+	if first < 0 {
+		return bad()
+	}
+	return rest[:first], rest[first+1:], metric, min, nil
 }
 
 // parseGate splits "<name>:<metric>:<min>". The metric itself may contain

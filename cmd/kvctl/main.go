@@ -38,6 +38,7 @@
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 del color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 loglen
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 shards
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200 stats
 //
 // Against a sharded cluster (kvnode -shards S) nothing changes client-side
 // for correctness: every replica hosts all S consensus groups and routes
@@ -123,7 +124,7 @@ func main() {
 	addrs := strings.Split(*nodes, ",")
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("usage: kvctl [-nodes ...] [-auth] set <k> <v> | mset <k> <v> [<k> <v> ...] | del <k> | get <k> | loglen | shards")
+		fail("usage: kvctl [-nodes ...] [-auth] set <k> <v> | mset <k> <v> [<k> <v> ...] | del <k> | get <k> | loglen | shards | stats")
 	}
 	if *authMode && *sessMode {
 		fail("-auth and -session are mutually exclusive (a session replaces per-command signing)")
@@ -201,6 +202,25 @@ func main() {
 		fmt.Println(request(addrs[0], "GET "+args[1]))
 	case "loglen":
 		fmt.Println(request(addrs[0], "LOGLEN"))
+	case "stats":
+		// STATS is a multi-line response terminated by END. It rides a
+		// session connection too (-session), like any read verb.
+		if *sessMode {
+			conn, sc, _, err := dialSessionConn(strings.TrimSpace(addrs[0]),
+				auth.ClientKey(*clientSeed, uint32(*clientID)), uint32(*clientID))
+			if err != nil {
+				fail(err.Error())
+			}
+			defer conn.Close()
+			fmt.Fprintln(conn, "STATS")
+			for sc.Scan() && sc.Text() != "END" {
+				fmt.Println(sc.Text())
+			}
+			return
+		}
+		for _, line := range requestUntil(addrs[0], "STATS", "END") {
+			fmt.Println(line)
+		}
 	case "shards":
 		fmt.Println(request(addrs[0], "SHARDS"))
 	case "set":
@@ -393,6 +413,23 @@ func requestMany(addr string, lines []string) []string {
 		resps = append(resps, scanner.Text())
 	}
 	return resps
+}
+
+// requestUntil sends one line and collects response lines up to (but not
+// including) the terminator — the shape of the STATS verb.
+func requestUntil(addr, line, terminator string) []string {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return []string{"ERR " + err.Error()}
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, line)
+	scanner := bufio.NewScanner(conn)
+	var lines []string
+	for scanner.Scan() && scanner.Text() != terminator {
+		lines = append(lines, scanner.Text())
+	}
+	return lines
 }
 
 // waitUntil polls the read until it matches want or the timeout elapses.

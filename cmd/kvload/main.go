@@ -54,6 +54,7 @@ func main() {
 		authMode  = flag.Bool("auth", false, "drive signed client load (authenticated command envelopes)")
 		session   = flag.Bool("session", false, "drive session client load (SHELLO handshake + SCMD writes); implies -auth clusters")
 		reps      = flag.Int("reps", 1, "runs per depth; the fastest is reported (damps single-run scheduler noise)")
+		noMetrics = flag.Bool("nometrics", false, "disable the node metrics registry (overhead comparisons)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-run deadline")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile covering the whole sweep")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the sweep")
@@ -128,19 +129,21 @@ func main() {
 			}
 			var elapsed time.Duration
 			var snapBytes int
+			var commits []uint64
 			for rep := 0; rep < *reps || rep == 0; rep++ {
-				e, sb, err := run(*n, *b, *f, depth, *batch, s, *cmds, *snapEvery, *authMode || *session, *session, *timeout)
+				e, sb, gc, err := run(*n, *b, *f, depth, *batch, s, *cmds, *snapEvery, *authMode || *session, *session, *noMetrics, *timeout)
 				if err != nil {
 					log.Fatalf("kvload: S=%d: %v", s, err)
 				}
 				if rep == 0 || e < elapsed {
-					elapsed, snapBytes = e, sb
+					elapsed, snapBytes, commits = e, sb, gc
 				}
 			}
 			perSec[s] = float64(*cmds) / elapsed.Seconds()
 			sweep = append(sweep, s)
 			fmt.Printf("%s/S=%d \t       1\t%12d ns/op\t%12.1f cmds/sec\t%12d snapshot-bytes\n",
 				name, s, elapsed.Nanoseconds(), perSec[s], snapBytes)
+			groupSummary(fmt.Sprintf("S=%d", s), commits, elapsed)
 		}
 		maxS := sweep[0]
 		for _, s := range sweep {
@@ -162,19 +165,37 @@ func main() {
 		}
 		var elapsed time.Duration
 		var snapBytes int
+		var commits []uint64
 		for rep := 0; rep < *reps || rep == 0; rep++ {
-			e, sb, err := run(*n, *b, *f, depth, *batch, 1, *cmds, *snapEvery, *authMode || *session, *session, *timeout)
+			e, sb, gc, err := run(*n, *b, *f, depth, *batch, 1, *cmds, *snapEvery, *authMode || *session, *session, *noMetrics, *timeout)
 			if err != nil {
 				log.Fatalf("kvload: W=%d: %v", depth, err)
 			}
 			if rep == 0 || e < elapsed {
-				elapsed, snapBytes = e, sb
+				elapsed, snapBytes, commits = e, sb, gc
 			}
 		}
 		perSec := float64(*cmds) / elapsed.Seconds()
 		fmt.Printf("%s/W=%d \t       1\t%12d ns/op\t%12.1f cmds/sec\t%12d snapshot-bytes\n",
 			name, depth, elapsed.Nanoseconds(), perSec, snapBytes)
+		groupSummary(fmt.Sprintf("W=%d", depth), commits, elapsed)
 	}
+}
+
+// groupSummary prints the per-group throughput of the reported run, sourced
+// from the node-side smr.commits counters (what the cluster actually
+// committed, not what the client sent). It goes to stderr so stdout stays
+// `go test -bench` parseable.
+func groupSummary(label string, commits []uint64, elapsed time.Duration) {
+	if len(commits) == 0 {
+		return // -nometrics
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "kvload: %s group throughput:", label)
+	for g, c := range commits {
+		fmt.Fprintf(&b, " g%d=%d commits (%.1f cmds/sec)", g, c, float64(c)/elapsed.Seconds())
+	}
+	fmt.Fprintln(os.Stderr, b.String())
 }
 
 // run measures one full load against a fresh cluster at the given pipeline
@@ -185,7 +206,7 @@ func main() {
 // In session mode the client authenticates each connection once (SHELLO)
 // and writes carry only the truncated session tag (the kvctl -session
 // shape), measuring the amortized-auth wire path.
-func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, sessionMode bool, timeout time.Duration) (time.Duration, int, error) {
+func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, sessionMode, noMetrics bool, timeout time.Duration) (time.Duration, int, []uint64, error) {
 	nodes := make([]*node.Node, n)
 	peers := make(map[model.PID]string, n)
 	defer func() {
@@ -207,10 +228,11 @@ func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, se
 			SnapshotInterval: snapEvery,
 			AppliedKeep:      4096,
 			ClientAuth:       authMode,
+			NoMetrics:        noMetrics,
 			BaseTimeout:      40 * time.Millisecond,
 		}, kv.NewStore())
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
 		nodes[i] = nd
 		peers[model.PID(i)] = nd.Addr()
@@ -277,7 +299,7 @@ func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, se
 	wg.Wait()
 	close(errs)
 	for err := range errs {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 
 	deadline := time.Now().Add(timeout)
@@ -292,7 +314,7 @@ func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, se
 					have += store.Len()
 				}
 			}
-			return 0, 0, fmt.Errorf("timed out: %d/%d keys on node 0", have, cmds)
+			return 0, 0, nil, fmt.Errorf("timed out: %d/%d keys on node 0", have, cmds)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -306,7 +328,14 @@ func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, se
 			}
 		}
 	}
-	return elapsed, snapBytes, nil
+	var commits []uint64
+	if reg := nodes[0].Metrics(); reg != nil {
+		commits = make([]uint64, nodes[0].Shards())
+		for g := range commits {
+			commits[g] = reg.CounterValue(fmt.Sprintf("g%d.smr.commits", g))
+		}
+	}
+	return elapsed, snapBytes, commits, nil
 }
 
 // driveSession authenticates the connection once (SHELLO) and streams the

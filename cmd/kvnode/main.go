@@ -50,11 +50,20 @@
 //	CMD <reqID> DEL <key>                     → "QUEUED"
 //	GET <key>                                 → value or "NOTFOUND"
 //	LOGLEN                                    → decided-log length
+//	STATS                                     → key=value metric lines, then "END"
+//
+// Observability (docs/OBSERVABILITY.md): the node keeps a live metrics
+// registry (STATS above; -metrics-addr serves it as JSON over HTTP next to
+// /debug/pprof) and, with -data-dir, appends structured events to
+// <data-dir>/events.log for cmd/loganalyzer to merge into a cluster
+// timeline. -nometrics turns the registry off.
 package main
 
 import (
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -91,6 +100,8 @@ func main() {
 		numClients = flag.Int("num-clients", 16, "provisioned client keyring size (with -client-auth)")
 		clientSeed = flag.Int64("client-seed", 0, "client key derivation seed (0 = -auth-seed; must match kvctl)")
 		clientWin  = flag.Int("client-window", 0, "per-client replay/dedup window (0 = default)")
+		metricsAdr = flag.String("metrics-addr", "", "HTTP debug address: /metrics (flat JSON of the live registry) + /debug/pprof (empty = disabled)")
+		noMetrics  = flag.Bool("nometrics", false, "disable the metrics registry entirely")
 	)
 	flag.Parse()
 
@@ -123,10 +134,28 @@ func main() {
 		NumClients:        *numClients,
 		ClientSeed:        *clientSeed,
 		ClientWindow:      *clientWin,
+		NoMetrics:         *noMetrics,
 		Logf:              log.Printf,
 	}, kv.NewStore())
 	if err != nil {
 		log.Fatalf("kvnode: %v", err)
+	}
+	if *metricsAdr != "" {
+		// pprof handlers register on http.DefaultServeMux via the blank
+		// import; /metrics joins them with the registry's flat JSON dump.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if reg := nd.Metrics(); reg != nil {
+				_ = reg.WriteJSON(w)
+			} else {
+				_, _ = w.Write([]byte("{}\n"))
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAdr, nil); err != nil {
+				log.Printf("kvnode: metrics server: %v", err)
+			}
+		}()
 	}
 	log.Printf("kvnode %d: consensus on %s, clients on %s, %d shard(s), pipeline depth %d, snapshot interval %d",
 		*id, nd.Addr(), nd.ClientAddr(), *shards, *pipeline, *snapEvery)

@@ -1,0 +1,110 @@
+// Command loganalyzer merges per-node events.log files (the structured
+// JSONL streams written by internal/obs.EventLog) into one wall-clock-
+// ordered cluster timeline and reduces it to per-phase summaries: who
+// decided what, who crashed and recovered, how long each recovery took,
+// which nodes caught up from peers and how often anything stalled.
+//
+// Usage:
+//
+//	loganalyzer [-timeline] [-summary] <events.log> [<events.log> ...]
+//
+// With no flags both views print (timeline first). A directory argument is
+// walked for files named events.log, so pointing the analyzer at a test's
+// data directory root picks up every node and every group.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"genconsensus/internal/obs"
+)
+
+func main() {
+	timeline := flag.Bool("timeline", false, "print the merged event timeline")
+	summary := flag.Bool("summary", false, "print the per-phase summary")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: loganalyzer [-timeline] [-summary] <events.log|dir> ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !*timeline && !*summary {
+		*timeline, *summary = true, true
+	}
+	if err := run(os.Stdout, flag.Args(), *timeline, *summary); err != nil {
+		fmt.Fprintf(os.Stderr, "loganalyzer: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run merges the named logs and writes the requested views to w.
+func run(w io.Writer, args []string, timeline, summary bool) error {
+	paths, err := expand(args)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no events.log files found")
+	}
+	perNode := make([][]obs.Event, 0, len(paths))
+	for _, p := range paths {
+		events, err := obs.ReadEventFile(p)
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", p, err)
+		}
+		perNode = append(perNode, events)
+	}
+	t := obs.MergeTimeline(perNode...)
+	if timeline {
+		if err := obs.WriteTimeline(w, t); err != nil {
+			return err
+		}
+	}
+	if summary {
+		if timeline {
+			fmt.Fprintln(w)
+		}
+		if err := obs.WriteSummary(w, obs.Summarize(t)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expand resolves each argument to event-log files: files pass through,
+// directories are walked for events.log entries.
+func expand(args []string) ([]string, error) {
+	var paths []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && d.Name() == "events.log" {
+				paths = append(paths, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}

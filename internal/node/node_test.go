@@ -169,6 +169,19 @@ func TestKVNodeCluster(t *testing.T) {
 	if !sc.Scan() || sc.Text() == "0" {
 		t.Fatalf("LOGLEN = %q", sc.Text())
 	}
+	// STATS dumps the live registry as key=value lines up to END.
+	fmt.Fprintln(conn, "STATS")
+	stats := map[string]string{}
+	for sc.Scan() && sc.Text() != "END" {
+		if k, v, ok := strings.Cut(sc.Text(), "="); ok {
+			stats[k] = v
+		}
+	}
+	for _, key := range []string{"g0.smr.commits", "total.smr.commits", "g0.smr.decisions", "transport.frames_out"} {
+		if stats[key] == "" || stats[key] == "0" {
+			t.Errorf("STATS %s = %q, want non-zero", key, stats[key])
+		}
+	}
 	waitFor(t, 20*time.Second, "logs to converge", func() bool {
 		for _, nd := range nodes[1:] {
 			if nd.Replica().Log.Len() != nodes[0].Replica().Log.Len() {

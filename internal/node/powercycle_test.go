@@ -30,7 +30,7 @@ func TestKVNodePowerCycle(t *testing.T) {
 		n    = 6
 		seed = int64(42)
 	)
-	root := t.TempDir()
+	root := testLogRoot(t)
 	mutate := func(cfg *Config) {
 		cfg.F = 1
 		cfg.TD = 4

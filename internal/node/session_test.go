@@ -146,6 +146,18 @@ func TestKVNodeSessionE2E(t *testing.T) {
 	})
 	checkLogConsistency(t, nodes)
 
+	// The smr.commits counter counts unique applied commands, so after the
+	// load drains it must equal the number of keys written — on every node.
+	for i, nd := range nodes {
+		var commits uint64
+		for g := 0; g < nd.Shards(); g++ {
+			commits += nd.Metrics().CounterValue(fmt.Sprintf("g%d.smr.commits", g))
+		}
+		if commits != writes {
+			t.Errorf("node %d: smr.commits = %d, want %d", i, commits, writes)
+		}
+	}
+
 	// Reads ride the same session connection.
 	if got := sessions[0].send(t, "GET sk-1"); got != "sv-1" {
 		t.Errorf("GET over session = %q, want %q", got, "sv-1")

@@ -1,0 +1,56 @@
+package smr
+
+import "genconsensus/internal/obs"
+
+// Metrics is a replica's instrument set. The zero value (all-nil
+// instruments) is the disabled state — every update is a no-op branch —
+// so the sim and legacy callers pay nothing for the instrumentation.
+// Install with SetMetrics before instances run.
+type Metrics struct {
+	// Proposals counts non-NoOp proposals built; BatchSize observes the
+	// commands each one carried.
+	Proposals *obs.Counter
+	BatchSize *obs.Histogram
+	// Decisions counts committed instances; Commits counts unique non-NoOp
+	// commands applied (a command a pipelined peer legitimately re-decided
+	// is counted once, matching the state machine's at-most-once apply).
+	Decisions *obs.Counter
+	Commits   *obs.Counter
+	// ReplayRejects counts ingress rejections of already-committed
+	// (client, seq) identities; EquivEvictions counts submissions dropped
+	// because a different payload already holds the queued identity (an
+	// equivocating client double-signing one sequence number).
+	ReplayRejects  *obs.Counter
+	EquivEvictions *obs.Counter
+}
+
+// MetricsFor resolves the replica instrument set from a registry under the
+// given name prefix (e.g. "g0."). A nil registry yields the disabled set.
+func MetricsFor(reg *obs.Registry, prefix string) Metrics {
+	return Metrics{
+		Proposals:      reg.Counter(prefix + "smr.proposals"),
+		BatchSize:      reg.Histogram(prefix + "smr.batch_size"),
+		Decisions:      reg.Counter(prefix + "smr.decisions"),
+		Commits:        reg.Counter(prefix + "smr.commits"),
+		ReplayRejects:  reg.Counter(prefix + "smr.replay_rejects"),
+		EquivEvictions: reg.Counter(prefix + "smr.equivocation_evictions"),
+	}
+}
+
+// SetMetrics installs the replica's instrument set. Call before instances
+// run; the zero value disables instrumentation.
+func (r *Replica) SetMetrics(m Metrics) {
+	r.mu.Lock()
+	r.metrics = m
+	r.mu.Unlock()
+}
+
+// SetMetrics wires every replica in the simulated cluster to the registry
+// (one shared instrument set: the sim commits serially, and the aggregate
+// is what the obs benchmark compares on/off).
+func (c *Cluster) SetMetrics(reg *obs.Registry) {
+	m := MetricsFor(reg, "")
+	for _, r := range c.replicas {
+		r.SetMetrics(m)
+	}
+}

@@ -322,6 +322,7 @@ type Replica struct {
 	store        storage.Backend
 	storeErr     func(error)
 	scratch      []model.Value // proposal staging, reused under mu
+	metrics      Metrics       // zero value = disabled (see metrics.go)
 }
 
 // pendingCmd is one queued command plus the identity Submit verified for it.
@@ -459,11 +460,17 @@ func (r *Replica) Submit(cmd model.Value) bool {
 	if !Admissible(cmd) {
 		return false
 	}
-	ax := r.commandAuth()
+	r.mu.Lock()
+	ax, m := r.auth, r.metrics
+	r.mu.Unlock()
 	var ident [2]uint64
 	if ax != nil {
 		id := ax.identify(cmd)
-		if !id.ok || ax.window.Seen(id.client, id.seq) {
+		if !id.ok {
+			return false
+		}
+		if ax.window.Seen(id.client, id.seq) {
+			m.ReplayRejects.Inc()
 			return false
 		}
 		ident = [2]uint64{uint64(id.client), id.seq}
@@ -475,6 +482,7 @@ func (r *Replica) Submit(cmd model.Value) bool {
 	}
 	if ax != nil {
 		if _, claimed := r.queuedIdents[ident]; claimed {
+			r.metrics.EquivEvictions.Inc()
 			return false // another payload holds this (client, seq)
 		}
 		r.queuedIdents[ident] = struct{}{}
@@ -546,6 +554,8 @@ func (r *Replica) ProposalAt(skip, limit int) (model.Value, int) {
 	for _, p := range slice[:k] {
 		r.scratch = append(r.scratch, p.v)
 	}
+	r.metrics.Proposals.Inc()
+	r.metrics.BatchSize.Observe(uint64(k))
 	batch, err := EncodeBatch(r.scratch)
 	if err != nil {
 		return slice[0].v, 1
@@ -568,7 +578,7 @@ func (r *Replica) ProposalAt(skip, limit int) (model.Value, int) {
 func (r *Replica) Commit(decided model.Value) []string {
 	cmds := Commands(decided)
 	r.mu.Lock()
-	ax := r.auth
+	ax, m := r.auth, r.metrics
 	// Identify the decided commands once; the identities drive both the
 	// queue pruning and the replay-window update below, so no later step
 	// pays another verification-cache lookup per command.
@@ -632,11 +642,21 @@ func (r *Replica) Commit(decided model.Value) []string {
 	r.pending = kept
 	r.mu.Unlock()
 	r.Log.AppendBatch(cmds)
+	m.Decisions.Inc()
+	applied := uint64(0)
 	responses := make([]string, 0, len(cmds))
 	for i, cmd := range cmds {
 		if cmd == NoOp {
 			responses = append(responses, "")
 			continue
+		}
+		// Count unique applies: a command a pipelined peer legitimately
+		// re-decided (queue-divergence duplicate) is already in the replay
+		// window and does not mutate state a second time. The extra window
+		// lookup is paid only with metrics installed.
+		if m.Commits != nil &&
+			(ax == nil || (decidedIDs[i].ok && !ax.window.Seen(decidedIDs[i].client, decidedIDs[i].seq))) {
+			applied++
 		}
 		responses = append(responses, r.SM.Apply(cmd))
 		if ax != nil && decidedIDs[i].ok {
@@ -646,6 +666,7 @@ func (r *Replica) Commit(decided model.Value) []string {
 			ax.window.Record(decidedIDs[i].client, decidedIDs[i].seq)
 		}
 	}
+	m.Commits.Add(applied)
 	return responses
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"genconsensus/internal/model"
+	"genconsensus/internal/obs"
 	"genconsensus/internal/snapshot"
 )
 
@@ -31,6 +32,13 @@ type DiskConfig struct {
 	// Logf receives recovery notices, e.g. torn-tail truncations (nil =
 	// silent).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the backend's instrument set (WAL
+	// appends and bytes, fsync latency, compaction runs, checkpoint bytes
+	// full-vs-delta), named under MetricsPrefix. Nil disables metrics.
+	Metrics *obs.Registry
+	// MetricsPrefix namespaces this backend's metrics (e.g. "g2." for a
+	// per-group backend). Empty is fine for a single-backend process.
+	MetricsPrefix string
 }
 
 // Disk is the durable Backend: a WAL file plus a checkpoint directory.
@@ -42,6 +50,7 @@ type DiskConfig struct {
 // before releasing the files.
 type Disk struct {
 	cfg DiskConfig
+	m   diskMetrics // resolved at OpenDisk; zero value = disabled
 
 	mu     sync.Mutex
 	wal    *wal
@@ -81,10 +90,12 @@ func OpenDisk(cfg DiskConfig) (*Disk, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: creating data dir: %w", err)
 	}
+	m := resolveDiskMetrics(cfg.Metrics, cfg.MetricsPrefix)
 	w, err := openWAL(cfg.Dir, cfg.Fsync, cfg.FsyncBatch)
 	if err != nil {
 		return nil, err
 	}
+	w.m = m
 	if w.tornBytes > 0 {
 		cfg.Logf("storage: %s: discarded %d torn trailing bytes", cfg.Dir, w.tornBytes)
 	}
@@ -93,8 +104,10 @@ func OpenDisk(cfg DiskConfig) (*Disk, error) {
 		_ = w.close()
 		return nil, err
 	}
+	s.m = m
 	d := &Disk{
 		cfg:         cfg,
+		m:           m,
 		wal:         w,
 		snaps:       s,
 		compactKick: make(chan struct{}, 1),
@@ -151,6 +164,9 @@ func (d *Disk) drainCompaction() {
 		d.mu.Lock()
 		if err == nil {
 			err = d.wal.compactFinish(tmp, tmpSize, limit, through)
+		}
+		if err == nil {
+			d.m.compactions.Inc()
 		}
 		d.compactErr = err
 		if err != nil {

@@ -38,7 +38,8 @@ type snapStore struct {
 	fsync      bool
 	keepChains int
 	enc        snapshot.IncrementalEncoder
-	newest     uint64 // newest stored checkpoint instance (0 = none)
+	newest     uint64      // newest stored checkpoint instance (0 = none)
+	m          diskMetrics // set by OpenDisk; zero value = disabled
 }
 
 // openSnapStore scans dir for existing checkpoints, clears stale temp
@@ -167,6 +168,11 @@ func (s *snapStore) write(instance uint64, c *snapshot.Checkpoint) error {
 	tmp = nil
 	if err := os.Rename(tmpPath, path); err != nil {
 		return fmt.Errorf("storage: checkpoint rename: %w", err)
+	}
+	if c.Kind == snapshot.FullCheckpoint {
+		s.m.ckptFullBytes.Add(uint64(len(enc)))
+	} else {
+		s.m.ckptDeltaBytes.Add(uint64(len(enc)))
 	}
 	return syncDir(s.dir, s.fsync)
 }

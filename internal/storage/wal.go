@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"genconsensus/internal/model"
 )
@@ -39,7 +40,8 @@ type wal struct {
 	path  string
 	f     *os.File
 	fsync bool
-	batch int // fsync every batch appends (1 = every append)
+	batch int         // fsync every batch appends (1 = every append)
+	m     diskMetrics // set by OpenDisk; zero value = disabled
 
 	unsynced int
 	have     map[uint64]struct{}
@@ -257,6 +259,8 @@ func (w *wal) append(instance uint64, value model.Value) error {
 	}
 	w.size += int64(len(rec))
 	w.have[instance] = struct{}{}
+	w.m.walAppends.Inc()
+	w.m.walBytes.Add(uint64(len(rec)))
 	w.unsynced++
 	if w.fsync && w.unsynced >= w.batch {
 		return w.sync()
@@ -280,9 +284,11 @@ func (w *wal) syncFile() error {
 	if !w.fsync {
 		return nil
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("storage: wal fsync: %w", err)
 	}
+	w.m.walFsyncNS.ObserveSince(start)
 	return nil
 }
 

@@ -12,19 +12,23 @@ import (
 )
 
 // EstimateSize returns the serialized size of a message in bytes, matching
-// the framing of internal/wire: fixed header plus variable vote, history and
-// selector-set payloads. It lets the in-memory simulator report byte costs
+// the framing of internal/wire byte for byte (TestEstimateMatchesWire pins
+// the equivalence): fixed header plus variable vote, history, selector-set
+// and relay payloads. It lets the in-memory simulator report byte costs
 // comparable to the TCP runtime.
 func EstimateSize(m model.Message) int {
-	const header = 1 + 8 + 8 // kind + ts + lengths
+	// kind u8 + vote length u16 + ts u64 + the three section counts (u16
+	// each for history, selector set and relay batch).
+	const header = 1 + 2 + 8 + 2 + 2 + 2
 	size := header + len(m.Vote)
-	size += len(m.History) * 12 // 8-byte phase + 4-byte value ref
+	size += len(m.History) * 10 // 2-byte value length + 8-byte phase
 	for _, e := range m.History {
 		size += len(e.Val)
 	}
 	size += len(m.Sel) * 4
 	for _, s := range m.Relay {
-		size += 4 + EstimateSize(s.Msg) + len(s.Sig)
+		// 4-byte sender + nested message + 2-byte signature length.
+		size += 6 + EstimateSize(s.Msg) + len(s.Sig)
 	}
 	return size
 }

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"genconsensus/internal/obs"
+	"genconsensus/internal/wire"
+)
+
+// metrics is a node's resolved transport instrument set. All instruments
+// are resolved once at Listen; the zero value (nil instruments, the
+// metrics-off mode) makes every update a predicted-branch no-op, so the
+// frame hot path carries no conditional registry lookups.
+//
+// Inbound frames are attributed to their wire family (the first payload
+// byte): consensus envelopes, state transfer, handshakes, session frames.
+// The per-family arrays are fully populated — unknown families share one
+// "other" instrument — so the read loop indexes by the version byte
+// without a bounds or nil check beyond the nil-receiver branch.
+type metrics struct {
+	framesIn [256]*obs.Counter
+	bytesIn  [256]*obs.Counter
+
+	framesOut     *obs.Counter
+	bytesOut      *obs.Counter
+	framesDropped *obs.Counter // outbound queue full: frame dropped, link kept
+
+	// writeBatch observes the frames coalesced into each vectored write.
+	writeBatch *obs.Histogram
+
+	// Handshake outcomes, split by direction.
+	handshakeAccept *obs.Counter
+	handshakeReject *obs.Counter
+	dialOK          *obs.Counter
+	dialFail        *obs.Counter
+
+	// strikes counts recoverable per-connection auth failures; strikeTrips
+	// counts connections dropped for exhausting the budget.
+	strikes     *obs.Counter
+	strikeTrips *obs.Counter
+
+	// Decision-ring outcomes when serving catch-up requests.
+	ringHits   *obs.Counter
+	ringMisses *obs.Counter
+}
+
+// frameFamilies names the known wire frame families for metric naming.
+var frameFamilies = map[uint8]string{
+	wire.Version:        "envelope",
+	wire.SnapVersion:    "snap",
+	wire.HelloVersion:   "hello",
+	wire.SessionVersion: "session",
+}
+
+// resolveMetrics builds the instrument set from reg (nil reg → disabled
+// zero set: every instrument stays nil).
+func resolveMetrics(reg *obs.Registry) metrics {
+	var m metrics
+	if reg == nil {
+		return m
+	}
+	otherF := reg.Counter("transport.frames_in.other")
+	otherB := reg.Counter("transport.bytes_in.other")
+	for i := range m.framesIn {
+		m.framesIn[i] = otherF
+		m.bytesIn[i] = otherB
+	}
+	for v, name := range frameFamilies {
+		m.framesIn[v] = reg.Counter("transport.frames_in." + name)
+		m.bytesIn[v] = reg.Counter("transport.bytes_in." + name)
+	}
+	m.framesOut = reg.Counter("transport.frames_out")
+	m.bytesOut = reg.Counter("transport.bytes_out")
+	m.framesDropped = reg.Counter("transport.frames_dropped")
+	m.writeBatch = reg.Histogram("transport.write_batch_frames")
+	m.handshakeAccept = reg.Counter("transport.handshake.accepted")
+	m.handshakeReject = reg.Counter("transport.handshake.rejected")
+	m.dialOK = reg.Counter("transport.handshake.dial_ok")
+	m.dialFail = reg.Counter("transport.handshake.dial_fail")
+	m.strikes = reg.Counter("transport.auth_strikes")
+	m.strikeTrips = reg.Counter("transport.strike_trips")
+	m.ringHits = reg.Counter("transport.decision_ring.hits")
+	m.ringMisses = reg.Counter("transport.decision_ring.misses")
+	return m
+}

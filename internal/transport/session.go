@@ -106,7 +106,12 @@ func (c *Conn) Peer() (model.PID, bool) { return c.peer, c.sessioned }
 // MAC verifications per connection before the connection is dropped.
 func (c *Conn) strike() error {
 	c.authFails++
+	c.node.m.strikes.Inc()
 	if c.authFails > c.node.cfg.MaxAuthFailures {
+		c.node.m.strikeTrips.Inc()
+		c.node.events.Emit(-1, "auth.reject",
+			"layer", "transport", "remote", c.conn.RemoteAddr().String(),
+			"strikes", c.authFails)
 		return errTooManyFailures
 	}
 	return nil
@@ -133,8 +138,23 @@ func (n *Node) handler(version uint8) FrameHandler {
 func (n *Node) registerBuiltins() {
 	n.RegisterHandler(wire.Version, n.handleEnvelopeFrame)
 	n.RegisterHandler(wire.SnapVersion, n.handleSnapRequest)
-	n.RegisterHandler(wire.HelloVersion, n.handleHello)
+	n.RegisterHandler(wire.HelloVersion, n.handleHelloCounted)
 	n.RegisterHandler(wire.SessionVersion, n.handleSessionFrame)
+}
+
+// handleHelloCounted is handleHello plus outcome accounting: a rejected
+// handshake is a security-relevant event, so it is both counted and
+// logged. Success accounting lives in handleHello where the peer id is in
+// scope.
+func (n *Node) handleHelloCounted(c *Conn, payload []byte) error {
+	err := n.handleHello(c, payload)
+	if err != nil {
+		n.m.handshakeReject.Inc()
+		n.events.Emit(-1, "peer.handshake",
+			"dir", "accept", "ok", false,
+			"remote", c.conn.RemoteAddr().String(), "err", err)
+	}
+	return err
 }
 
 // handleEnvelopeFrame accepts a legacy sealed consensus envelope on a
@@ -218,6 +238,8 @@ func (n *Node) handleHello(c *Conn, payload []byte) error {
 	c.key = auth.SessionKey(pair, peer, h.Nonce[:], ack.Nonce[:])
 	c.macer = auth.NewSessionMACer(c.key)
 	c.recvSeq = 0
+	n.m.handshakeAccept.Inc()
+	n.events.Emit(-1, "peer.handshake", "dir", "accept", "ok", true, "peer", int(peer))
 	return nil
 }
 
@@ -304,13 +326,18 @@ func (n *Node) connTo(dst model.PID) *peerConn {
 	}
 	c, err := net.DialTimeout("tcp", addr, n.cfg.BaseTimeout)
 	if err != nil {
+		n.m.dialFail.Inc()
 		return nil
 	}
 	key, err := n.dialHandshake(c, dst)
 	if err != nil {
 		_ = c.Close()
+		n.m.dialFail.Inc()
+		n.events.Emit(-1, "peer.handshake", "dir", "dial", "ok", false, "peer", int(dst), "err", err)
 		return nil
 	}
+	n.m.dialOK.Inc()
+	n.events.Emit(-1, "peer.handshake", "dir", "dial", "ok", true, "peer", int(dst))
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -397,6 +424,7 @@ func (pc *peerConn) enqueue(env wire.Envelope) bool {
 	if len(pc.pending) >= pc.node.cfg.MaxPendingFrames {
 		pc.mu.Unlock()
 		wire.PutFrame(inner)
+		pc.node.m.framesDropped.Inc()
 		return true
 	}
 	pc.sendSeq++
@@ -416,6 +444,8 @@ func (pc *peerConn) enqueue(env wire.Envelope) bool {
 	pc.pending = append(pc.pending, buf)
 	pc.mu.Unlock()
 	wire.PutFrame(inner)
+	pc.node.m.framesOut.Inc()
+	pc.node.m.bytesOut.Add(uint64(len(buf)))
 	select {
 	case pc.signal <- struct{}{}:
 	default:
@@ -444,6 +474,7 @@ func (pc *peerConn) flushLoop() {
 			if len(batch) == 0 {
 				break
 			}
+			pc.node.m.writeBatch.Observe(uint64(len(batch)))
 			// WriteTo consumes its receiver (reslicing elements on short
 			// writes), so it runs on a scratch copy and batch stays intact
 			// for recycling.

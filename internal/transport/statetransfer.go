@@ -196,8 +196,11 @@ func (n *Node) serveDecision(conn net.Conn, key auth.MACKey, instance uint64) {
 	n.mu.Unlock()
 	reply := wire.SnapEnvelope{Kind: wire.SnapNone, Sender: n.cfg.ID, LastInstance: instance}
 	if ok {
+		n.m.ringHits.Inc()
 		reply.Kind = wire.DecisionReply
 		reply.Data = []byte(decided)
+	} else {
+		n.m.ringMisses.Inc()
 	}
 	reply.Auth = auth.MAC(key, wire.SnapVerifyPayload(reply))
 	_ = wire.WriteFrame(conn, wire.EncodeSnap(reply))

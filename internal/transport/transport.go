@@ -38,6 +38,7 @@ import (
 
 	"genconsensus/internal/auth"
 	"genconsensus/internal/model"
+	"genconsensus/internal/obs"
 	"genconsensus/internal/round"
 	"genconsensus/internal/wire"
 )
@@ -105,6 +106,14 @@ type Config struct {
 	// bound are dropped, so a Byzantine peer cannot allocate per-group
 	// state for groups the deployment never configured.
 	Groups int
+	// Metrics, when non-nil, receives the transport's instrument set
+	// (frames/bytes per family, write coalescing, handshake outcomes,
+	// strike-budget trips, decision-ring hits). Nil disables metrics at
+	// the cost of one predicted branch per update site.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives structured transport events
+	// (handshake outcomes, strike-budget trips). Nil drops them.
+	Events *obs.EventLog
 }
 
 // Errors returned by the transport.
@@ -123,6 +132,8 @@ type Node struct {
 	cfg      Config
 	ln       net.Listener
 	pairKeys []auth.MACKey // pairwise keys, precomputed per peer id
+	m        metrics       // resolved at Listen; zero value = disabled
+	events   *obs.EventLog // nil drops events
 
 	hmu      sync.RWMutex
 	handlers [256]FrameHandler // inbound dispatch by frame-family version
@@ -239,6 +250,8 @@ func Listen(cfg Config) (*Node, error) {
 		groups:    make(map[wire.GroupID]*groupState),
 		stop:      make(chan struct{}),
 		instAdded: make(chan struct{}, 1),
+		m:         resolveMetrics(cfg.Metrics),
+		events:    cfg.Events,
 	}
 	// Pairwise keys are fixed for the node's lifetime; deriving them per
 	// frame (a SHA-256 each) was pure waste on the hot path.
@@ -341,7 +354,10 @@ func (n *Node) readLoop(conn net.Conn) {
 			return
 		}
 		buf = nbuf
-		h := n.handler(wire.PayloadVersion(payload))
+		v := wire.PayloadVersion(payload)
+		n.m.framesIn[v].Inc()
+		n.m.bytesIn[v].Add(uint64(len(payload)))
+		h := n.handler(v)
 		if h == nil {
 			if c.strike() != nil {
 				return
