@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth bench-disk bench-wire bench-shard bench-obs fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth bench-disk bench-wire bench-shard bench-obs bench-gossip fmt fmt-check vet ci
 
 # Iteration budget for bench-json; CI uses the fast single pass.
 BENCHTIME ?= 1x
@@ -106,9 +106,15 @@ SHARD_DEPTH ?= 2
 SHARD_REPS ?= 3
 SHARD_FLOOR ?= 16166
 SHARD_SCALE ?= $(shell [ "$$(nproc)" -ge 4 ] && echo 3.0 || echo 0.95)
+# With 4+ cores, pin the whole sweep to a fixed CPU set (cores 0..nproc-1)
+# so every consensus group timeshares the same stable processors and the
+# scale-x quotient measures parallelism, not scheduler migration. On
+# smaller hosts (or without taskset) the prefix is empty and the sweep runs
+# unpinned exactly as before.
+SHARD_PIN ?= $(shell if [ "$$(nproc)" -ge 4 ] && command -v taskset >/dev/null 2>&1; then echo taskset -c 0-$$(($$(nproc) - 1)); fi)
 
 bench-shard:
-	$(GO) run ./cmd/kvload -shards $(SHARD_COUNTS) -n 6 -b 1 -f 1 \
+	$(SHARD_PIN) $(GO) run ./cmd/kvload -shards $(SHARD_COUNTS) -n 6 -b 1 -f 1 \
 		-cmds $(SHARD_CMDS) -batch $(SHARD_BATCH) -depths $(SHARD_DEPTH) \
 		-reps $(SHARD_REPS) > BENCH_shard.txt
 	cat BENCH_shard.txt
@@ -116,6 +122,32 @@ bench-shard:
 	$(GO) run ./cmd/benchgate -input BENCH_shard.json \
 		'BenchmarkTCPKVLoadShard/S=1:cmds/sec:$(SHARD_FLOOR)' \
 		'BenchmarkTCPKVLoadShardScaling/S=4v1:scale-x:$(SHARD_SCALE)'
+
+# Digest-voting benchmark artifact: kvload sweeps cluster sizes twice —
+# full-value voting (mode=mesh) and digest voting over the content-addressed
+# payload plane (mode=digest) — at batch=64, both runs appended into one
+# BENCH_gossip.txt. benchgate enforces the two acceptance ratios at N=6:
+# digest-mode throughput within GOSSIP_PARITY of mesh (decoupling value
+# spread from agreement must not cost commits), and mesh vote-bytes/inst at
+# least GOSSIP_SHRINK times digest's (the voting plane actually shrank).
+GOSSIP_NS ?= 6,10
+GOSSIP_CMDS ?= 256
+GOSSIP_BATCH ?= 64
+GOSSIP_DEPTH ?= 4
+GOSSIP_REPS ?= 3
+GOSSIP_PARITY ?= 0.95
+GOSSIP_SHRINK ?= 5.0
+
+bench-gossip:
+	$(GO) run ./cmd/kvload -ns $(GOSSIP_NS) -cmds $(GOSSIP_CMDS) \
+		-batch $(GOSSIP_BATCH) -depths $(GOSSIP_DEPTH) -reps $(GOSSIP_REPS) > BENCH_gossip.txt
+	$(GO) run ./cmd/kvload -digest -ns $(GOSSIP_NS) -cmds $(GOSSIP_CMDS) \
+		-batch $(GOSSIP_BATCH) -depths $(GOSSIP_DEPTH) -reps $(GOSSIP_REPS) >> BENCH_gossip.txt
+	cat BENCH_gossip.txt
+	$(GO) run ./cmd/benchjson < BENCH_gossip.txt > BENCH_gossip.json
+	$(GO) run ./cmd/benchgate -input BENCH_gossip.json \
+		-ratio 'BenchmarkTCPKVLoadGossip/mode=digest/N=6:BenchmarkTCPKVLoadGossip/mode=mesh/N=6:cmds/sec:$(GOSSIP_PARITY)' \
+		-ratio 'BenchmarkTCPKVLoadGossip/mode=mesh/N=6:BenchmarkTCPKVLoadGossip/mode=digest/N=6:vote-bytes/inst:$(GOSSIP_SHRINK)'
 
 # Observability-overhead benchmark artifact: the identical pipelined SMR
 # load with the metrics registry on and off (wall-clock cmds/sec). benchgate

@@ -50,6 +50,9 @@ func main() {
 		batch     = flag.Int("batch", 16, "max commands per instance")
 		depths    = flag.String("depths", "1,2,4,8", "comma-separated pipeline depths to sweep")
 		shards    = flag.String("shards", "", "comma-separated shard counts to sweep (e.g. 1,2,4); empty = unsharded depth sweep")
+		nsweep    = flag.String("ns", "", "comma-separated cluster sizes to sweep (gossip bench; fixed depth = first -depths entry); empty = depth sweep")
+		digest    = flag.Bool("digest", false, "vote with batch digests over the content-addressed payload plane")
+		fanout    = flag.Int("gossip-fanout", 0, "with -digest, push payloads to this many random peers (0 = full mesh)")
 		snapEvery = flag.Uint64("snapshot-interval", 4, "checkpoint interval (0 disables)")
 		authMode  = flag.Bool("auth", false, "drive signed client load (authenticated command envelopes)")
 		session   = flag.Bool("session", false, "drive session client load (SHELLO handshake + SCMD writes); implies -auth clusters")
@@ -111,6 +114,49 @@ func main() {
 		name = "BenchmarkTCPKVLoadAuth"
 	}
 
+	if *nsweep != "" {
+		// Cluster-size sweep at a fixed depth: the digest-voting benchmark.
+		// Two kvload runs (plain and -digest) concatenate into one report;
+		// mode= in the name is what the CI ratio gates key on. vote-bytes/inst
+		// is the voting-plane traffic (envelope + session frames, summed over
+		// replicas) per consensus instance — the number digest voting shrinks.
+		depth, err := strconv.Atoi(strings.TrimSpace(strings.Split(*depths, ",")[0]))
+		if err != nil || depth < 1 {
+			log.Fatalf("kvload: bad depth %q", *depths)
+		}
+		mode := "mesh"
+		if *digest {
+			mode = "digest"
+		}
+		for _, field := range strings.Split(*nsweep, ",") {
+			size, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || size < 2 {
+				log.Fatalf("kvload: bad cluster size %q", field)
+			}
+			var elapsed time.Duration
+			var commits []uint64
+			var vote gossipStats
+			for rep := 0; rep < *reps || rep == 0; rep++ {
+				e, _, gc, gs, err := run(size, *b, *f, depth, *batch, 1, *cmds, *snapEvery, *authMode || *session, *session, *noMetrics, *digest, *fanout, *timeout)
+				if err != nil {
+					log.Fatalf("kvload: N=%d: %v", size, err)
+				}
+				if rep == 0 || e < elapsed {
+					elapsed, commits, vote = e, gc, gs
+				}
+			}
+			perSec := float64(*cmds) / elapsed.Seconds()
+			perInst := 0.0
+			if vote.decisions > 0 {
+				perInst = float64(vote.voteBytes) / float64(vote.decisions)
+			}
+			fmt.Printf("BenchmarkTCPKVLoadGossip/mode=%s/N=%d \t       1\t%12d ns/op\t%12.1f cmds/sec\t%12.1f vote-bytes/inst\n",
+				mode, size, elapsed.Nanoseconds(), perSec, perInst)
+			groupSummary(fmt.Sprintf("mode=%s/N=%d", mode, size), commits, elapsed)
+		}
+		return
+	}
+
 	if *shards != "" {
 		// Shard sweep: fixed pipeline depth per group (the first -depths
 		// entry), shard count S varied. Emits one line per S plus a derived
@@ -131,7 +177,7 @@ func main() {
 			var snapBytes int
 			var commits []uint64
 			for rep := 0; rep < *reps || rep == 0; rep++ {
-				e, sb, gc, err := run(*n, *b, *f, depth, *batch, s, *cmds, *snapEvery, *authMode || *session, *session, *noMetrics, *timeout)
+				e, sb, gc, _, err := run(*n, *b, *f, depth, *batch, s, *cmds, *snapEvery, *authMode || *session, *session, *noMetrics, *digest, *fanout, *timeout)
 				if err != nil {
 					log.Fatalf("kvload: S=%d: %v", s, err)
 				}
@@ -167,7 +213,7 @@ func main() {
 		var snapBytes int
 		var commits []uint64
 		for rep := 0; rep < *reps || rep == 0; rep++ {
-			e, sb, gc, err := run(*n, *b, *f, depth, *batch, 1, *cmds, *snapEvery, *authMode || *session, *session, *noMetrics, *timeout)
+			e, sb, gc, _, err := run(*n, *b, *f, depth, *batch, 1, *cmds, *snapEvery, *authMode || *session, *session, *noMetrics, *digest, *fanout, *timeout)
 			if err != nil {
 				log.Fatalf("kvload: W=%d: %v", depth, err)
 			}
@@ -198,6 +244,16 @@ func groupSummary(label string, commits []uint64, elapsed time.Duration) {
 	fmt.Fprintln(os.Stderr, b.String())
 }
 
+// gossipStats is the voting-plane traffic of one run: bytes received on
+// the envelope/session frame families (summed over every replica — the
+// consensus chatter, payload frames excluded) and the number of consensus
+// instances they decided. Their ratio is the vote-bytes/inst metric the
+// digest-voting benchmark gates on.
+type gossipStats struct {
+	voteBytes uint64
+	decisions uint64
+}
+
 // run measures one full load against a fresh cluster at the given pipeline
 // depth: wall-clock from the first client write until every replica has
 // applied every command. In auth mode the client signs every line (the
@@ -205,8 +261,10 @@ func groupSummary(label string, commits []uint64, elapsed time.Duration) {
 // ingress/chooser/apply verification and (client, seq) dedup end to end.
 // In session mode the client authenticates each connection once (SHELLO)
 // and writes carry only the truncated session tag (the kvctl -session
-// shape), measuring the amortized-auth wire path.
-func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, sessionMode, noMetrics bool, timeout time.Duration) (time.Duration, int, []uint64, error) {
+// shape), measuring the amortized-auth wire path. In digest mode replicas
+// vote with 32-byte content addresses and payloads travel once on the
+// payload plane (gossip-fanout peers pushed, the rest pull).
+func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, sessionMode, noMetrics bool, digestMode bool, fanout int, timeout time.Duration) (time.Duration, int, []uint64, gossipStats, error) {
 	nodes := make([]*node.Node, n)
 	peers := make(map[model.PID]string, n)
 	defer func() {
@@ -228,11 +286,13 @@ func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, se
 			SnapshotInterval: snapEvery,
 			AppliedKeep:      4096,
 			ClientAuth:       authMode,
+			DigestVotes:      digestMode,
+			GossipFanout:     fanout,
 			NoMetrics:        noMetrics,
 			BaseTimeout:      40 * time.Millisecond,
 		}, kv.NewStore())
 		if err != nil {
-			return 0, 0, nil, err
+			return 0, 0, nil, gossipStats{}, err
 		}
 		nodes[i] = nd
 		peers[model.PID(i)] = nd.Addr()
@@ -299,7 +359,7 @@ func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, se
 	wg.Wait()
 	close(errs)
 	for err := range errs {
-		return 0, 0, nil, err
+		return 0, 0, nil, gossipStats{}, err
 	}
 
 	deadline := time.Now().Add(timeout)
@@ -314,7 +374,7 @@ func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, se
 					have += store.Len()
 				}
 			}
-			return 0, 0, nil, fmt.Errorf("timed out: %d/%d keys on node 0", have, cmds)
+			return 0, 0, nil, gossipStats{}, fmt.Errorf("timed out: %d/%d keys on node 0", have, cmds)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -329,13 +389,25 @@ func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, se
 		}
 	}
 	var commits []uint64
+	var vote gossipStats
 	if reg := nodes[0].Metrics(); reg != nil {
 		commits = make([]uint64, nodes[0].Shards())
 		for g := range commits {
 			commits[g] = reg.CounterValue(fmt.Sprintf("g%d.smr.commits", g))
+			vote.decisions += reg.CounterValue(fmt.Sprintf("g%d.smr.decisions", g))
 		}
 	}
-	return elapsed, snapBytes, commits, nil
+	// Voting-plane traffic sums over every replica: envelope frames carry the
+	// consensus votes, session frames their authenticated wrapper. Payload
+	// frames are deliberately excluded — they're the dissemination plane the
+	// digest mode moves the bulk bytes onto.
+	for _, nd := range nodes {
+		if reg := nd.Metrics(); reg != nil {
+			vote.voteBytes += reg.CounterValue("transport.bytes_in.envelope")
+			vote.voteBytes += reg.CounterValue("transport.bytes_in.session")
+		}
+	}
+	return elapsed, snapBytes, commits, vote, nil
 }
 
 // driveSession authenticates the connection once (SHELLO) and streams the

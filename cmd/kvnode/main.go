@@ -102,6 +102,8 @@ func main() {
 		clientWin  = flag.Int("client-window", 0, "per-client replay/dedup window (0 = default)")
 		metricsAdr = flag.String("metrics-addr", "", "HTTP debug address: /metrics (flat JSON of the live registry) + /debug/pprof (empty = disabled)")
 		noMetrics  = flag.Bool("nometrics", false, "disable the metrics registry entirely")
+		digest     = flag.Bool("digest-votes", false, "vote with 32-byte batch digests; payloads travel once on the content-addressed payload plane (must match on all nodes)")
+		fanout     = flag.Int("gossip-fanout", 0, "with -digest-votes, push each payload to this many random peers instead of all (0 = full mesh); the rest pull by digest")
 	)
 	flag.Parse()
 
@@ -134,6 +136,8 @@ func main() {
 		NumClients:        *numClients,
 		ClientSeed:        *clientSeed,
 		ClientWindow:      *clientWin,
+		DigestVotes:       *digest,
+		GossipFanout:      *fanout,
 		NoMetrics:         *noMetrics,
 		Logf:              log.Printf,
 	}, kv.NewStore())

@@ -37,6 +37,7 @@ package node
 import (
 	"bufio"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -112,6 +113,21 @@ type Config struct {
 	// part of the replicated protocol. Shards > 1 requires a *kv.Store
 	// state machine (the extra groups get fresh stores of their own).
 	Shards int
+	// DigestVotes decouples value dissemination from agreement: proposers
+	// announce each encoded batch once on the transport's content-addressed
+	// payload plane and vote with its 32-byte digest, so consensus rounds
+	// stop repeating the batch in every message. Receivers resolve digests
+	// locally (an unresolved digest weighs zero — the chooser's
+	// resolve-before-weigh rule) and pull misses by digest. Every replica
+	// must configure the same value.
+	DigestVotes bool
+	// GossipFanout, with DigestVotes, pushes each payload announce to that
+	// many random peers instead of every peer; the rest pull on demand.
+	// Zero announces to the full mesh.
+	GossipFanout int
+	// PayloadStoreBytes overrides the payload store's byte budget
+	// (default: transport's 8 MiB).
+	PayloadStoreBytes int
 	// SnapshotInterval checkpoints every K committed instances (per group)
 	// and enables the recovery path; 0 disables snapshots.
 	SnapshotInterval uint64
@@ -354,6 +370,8 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 		DecisionCache:      decisionCache,
 		DecisionCacheBytes: decisionCache * smr.MaxBatchBytes,
 		Groups:             cfg.Shards,
+		GossipFanout:       cfg.GossipFanout,
+		PayloadStoreBytes:  cfg.PayloadStoreBytes,
 		Metrics:            reg,
 		Events:             events,
 	})
@@ -389,8 +407,12 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 			g.authCtx = smr.NewAuthContext(keyring, cfg.ClientWindow)
 		}
 		g.params = baseParams
-		if g.authCtx != nil {
-			g.params.Chooser = smr.CommandChooser{Auth: g.authCtx}
+		if g.authCtx != nil || cfg.DigestVotes {
+			chooser := smr.CommandChooser{Auth: g.authCtx}
+			if cfg.DigestVotes {
+				chooser.Resolve = payloadResolver{tn: tn, g: g.id}
+			}
+			g.params.Chooser = chooser
 		}
 
 		g.replica = smr.NewReplica(cfg.ID, gsm)
@@ -473,6 +495,23 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 		n.clientLn = ln
 	}
 	return n, nil
+}
+
+// payloadResolver adapts one group's slice of the transport's payload
+// store to the chooser's DigestResolver. It never blocks: a miss registers
+// the digest with the transport's asynchronous fetch worker and weighs
+// zero this round.
+type payloadResolver struct {
+	tn *transport.Node
+	g  wire.GroupID
+}
+
+func (r payloadResolver) ResolveDigest(sum [sha256.Size]byte) (model.Value, bool) {
+	data, ok := r.tn.ResolvePayload(r.g, sum)
+	if !ok {
+		return model.NoValue, false
+	}
+	return model.Value(data), true
 }
 
 // groupDataDir is the storage layout rule: an unsharded node owns DataDir
@@ -874,6 +913,18 @@ func (g *group) kickDispatcher() {
 func (g *group) decideInstance(instance uint64, proposal model.Value) {
 	n := g.n
 	start := time.Now()
+	// Digest mode: publish the batch once on the payload plane, then vote
+	// with its content address. The announce is enqueued on the same
+	// per-peer FIFO as the round-1 votes that follow, so a receiver
+	// normally holds the payload before its chooser weighs the digest.
+	// Singletons and NoOps stay in the clear — the digest only pays for
+	// itself when the batch is bigger than the vote.
+	if n.cfg.DigestVotes && smr.IsBatch(proposal) && len(proposal) > smr.DigestVoteSize {
+		data := []byte(proposal)
+		sum := sha256.Sum256(data)
+		n.tn.AnnouncePayload(g.id, sum, data)
+		proposal = smr.DigestVote(sum)
+	}
 	for !n.stopping.Load() {
 		if g.commits.NextCommit() > instance {
 			return // a catch-up fast-forwarded past this instance
@@ -898,11 +949,20 @@ func (g *group) decideInstance(instance uint64, proposal model.Value) {
 		// the post-decision helping.
 		delivered := false
 		decided, err := n.tn.RunProcNotify(g.packed(instance), proc, n.cfg.MaxRounds, n.cfg.ExtraRounds, func(v model.Value) {
+			// A decided digest is resolved back to its batch before it
+			// touches the commit queue: the WAL, the decided log and the
+			// state machine only ever store real values. A local miss
+			// leaves delivered=false and falls through to the blocking
+			// resolve below — never on this callback's fast path.
+			resolved, ok := g.resolveDecided(v)
+			if !ok {
+				return
+			}
 			if g.ctrl != nil {
 				g.ctrl.Observe(float64(time.Since(start).Milliseconds()))
 			}
 			g.commitNS.ObserveSince(start)
-			g.commits.Deliver(instance, v)
+			g.commits.Deliver(instance, resolved)
 			delivered = true
 		})
 		if err != nil {
@@ -914,9 +974,62 @@ func (g *group) decideInstance(instance uint64, proposal model.Value) {
 			continue
 		}
 		if !delivered {
-			g.commits.Deliver(instance, decided)
+			resolved, ok := g.resolveDecided(decided)
+			if !ok {
+				// The cluster decided a digest this node cannot resolve
+				// yet. Poll the payload plane (each attempt re-arms the
+				// fetch worker); if the payload truly never arrives — the
+				// proposer died right after deciding, or a Byzantine digest
+				// was locked in — the stall watcher's catch-up delivers the
+				// resolved value from a peer's decision ring instead, which
+				// fast-forwards the watermark past this instance.
+				g.blockingResolve(instance, decided)
+				return
+			}
+			g.commits.Deliver(instance, resolved)
 		}
 		return
+	}
+}
+
+// resolveDecided maps a decided value to what the commit queue should
+// apply: non-digests pass through; digests resolve against the payload
+// plane. It never blocks (callers on the decision fast path).
+func (g *group) resolveDecided(v model.Value) (model.Value, bool) {
+	if !smr.IsDigestVote(v) {
+		return v, true
+	}
+	sum, ok := smr.DigestKey(v)
+	if !ok {
+		// Malformed digest votes weigh zero and should never decide; if
+		// one does, committing it verbatim is uniform across replicas (the
+		// application layer rejects the opaque bytes, like any other
+		// Byzantine value that slips past the chooser).
+		return v, true
+	}
+	data, ok := g.n.tn.ResolvePayload(g.id, sum)
+	if !ok {
+		return model.NoValue, false
+	}
+	return model.Value(data), true
+}
+
+// blockingResolve keeps trying to resolve a decided digest until the
+// payload arrives (push or pull) or the instance is overtaken by a
+// catch-up. It owns the instance's delivery: nothing else will commit it
+// except a catch-up fast-forward.
+func (g *group) blockingResolve(instance uint64, decided model.Value) {
+	n := g.n
+	for !n.stopping.Load() {
+		if g.commits.NextCommit() > instance {
+			return // catch-up delivered the resolved value from a peer
+		}
+		resolved, ok := g.resolveDecided(decided)
+		if ok {
+			g.commits.Deliver(instance, resolved)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -89,7 +89,8 @@ func IsBatch(v model.Value) bool {
 // singleton batch. Runtimes can reject inadmissible commands at their
 // client boundary instead of silently dropping them.
 func Admissible(cmd model.Value) bool {
-	return cmd != model.NoValue && cmd != NoOp && !IsBatch(cmd) && len(cmd) <= maxCommandBytes
+	return cmd != model.NoValue && cmd != NoOp && !IsBatch(cmd) && !IsDigestVote(cmd) &&
+		len(cmd) <= maxCommandBytes
 }
 
 // DecodeBatch strictly parses and validates an encoded batch: exact count,

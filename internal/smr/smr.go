@@ -703,6 +703,7 @@ type Cluster struct {
 	snapCfg   SnapshotConfig     // valid while managers != nil
 	authCtx   *AuthContext       // nil until EnableCommandAuth
 	backends  []storage.Backend  // nil until EnableStorage
+	digests   *DigestTable       // nil until EnableDigestVotes
 }
 
 // Errors returned by the cluster.
@@ -734,10 +735,32 @@ type CommandChooser struct {
 	// Auth enables provenance-checked weighing; nil keeps the legacy
 	// structure-only rule.
 	Auth *AuthContext
+	// Resolve enables digest voting: votes carrying a content address are
+	// resolved to the locally-held payload before weighing
+	// (resolve-before-weigh). An unresolvable digest weighs zero — exactly
+	// like a malformed batch — so a Byzantine proposer cannot win the
+	// choice with a reference to bytes it never disseminated, and the
+	// Byzantine-weight invariants above survive the digest indirection
+	// unchanged. Nil prices every digest vote at zero.
+	Resolve DigestResolver
 }
 
 // weight ranks one vote under the configured rule.
 func (c CommandChooser) weight(v model.Value) int {
+	if IsDigestVote(v) {
+		if c.Resolve == nil {
+			return 0
+		}
+		sum, ok := DigestKey(v)
+		if !ok {
+			return 0 // magic-prefixed junk, not a vote
+		}
+		resolved, ok := c.Resolve.ResolveDigest(sum)
+		if !ok || IsDigestVote(resolved) {
+			return 0 // unresolved here and now: worth nothing, fetched async
+		}
+		v = resolved
+	}
 	if c.Auth != nil {
 		return authWeight(v, c.Auth)
 	}
@@ -822,11 +845,38 @@ func (c *Cluster) Replica(p model.PID) *Replica { return c.replicas[p] }
 func (c *Cluster) EnableCommandAuth(ax *AuthContext) {
 	c.mu.Lock()
 	c.authCtx = ax
-	c.params.Chooser = CommandChooser{Auth: ax}
+	c.params.Chooser = c.chooserLocked()
 	c.mu.Unlock()
 	for _, r := range c.replicas {
 		r.SetCommandAuth(ax)
 	}
+}
+
+// chooserLocked rebuilds the cluster chooser from the enabled modes.
+// Callers hold c.mu.
+func (c *Cluster) chooserLocked() CommandChooser {
+	ch := CommandChooser{Auth: c.authCtx}
+	if c.digests != nil {
+		ch.Resolve = c.digests
+	}
+	return ch
+}
+
+// EnableDigestVotes switches the cluster to digest voting over a shared
+// DigestTable (the simulator's payload plane): every batch proposal is
+// published to the table and replaced by its 32-byte digest vote, the
+// chooser resolves digests before weighing, and decided digests resolve
+// back to their batches before commit. Composes with EnableCommandAuth in
+// either order. Must be called before instances run. Returns the table so
+// tests can inspect or poison it.
+func (c *Cluster) EnableDigestVotes() *DigestTable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.digests == nil {
+		c.digests = NewDigestTable()
+	}
+	c.params.Chooser = c.chooserLocked()
+	return c.digests
 }
 
 // AuthContext returns the cluster's command-authentication context (nil in
@@ -985,6 +1035,7 @@ func (c *Cluster) startEngine(skip, limit int) (*sim.Engine, uint64, int, error)
 	for p := range c.crashed {
 		crashed[p] = true
 	}
+	digests := c.digests
 	c.mu.Unlock()
 
 	inits := make(map[model.PID]model.Value, len(c.replicas))
@@ -995,6 +1046,12 @@ func (c *Cluster) startEngine(skip, limit int) (*sim.Engine, uint64, int, error)
 			continue
 		}
 		proposal, took := r.ProposalAt(skip, limit)
+		if digests != nil && IsBatch(proposal) {
+			// Publish-then-vote: the batch reaches the payload plane before
+			// any round carries its digest, mirroring the transport's
+			// announce-before-round-1 ordering.
+			proposal = digests.Put(proposal)
+		}
 		inits[r.ID] = proposal
 		if took > claim {
 			claim = took
@@ -1040,7 +1097,26 @@ func (c *Cluster) commitDecision(instance uint64, decided model.Value, latencyRo
 	live := c.liveSet()
 	c.mu.Lock()
 	managers := c.managers
+	digests := c.digests
 	c.mu.Unlock()
+	if digests != nil && IsDigestVote(decided) {
+		// Resolve the decided digest before anything durable sees it: the
+		// WAL, the log and the state machine only ever store real batches.
+		// An unresolvable decided digest cannot name honest bytes (honest
+		// proposers publish before voting, and resolve-before-weigh prices
+		// unpublished references at zero), so it degrades to NoOp —
+		// uniformly at every replica, since the table is shared — and
+		// costs the instance, never safety.
+		if sum, ok := DigestKey(decided); ok {
+			if resolved, found := digests.ResolveDigest(sum); found {
+				decided = resolved
+			} else {
+				decided = NoOp
+			}
+		} else {
+			decided = NoOp
+		}
+	}
 	for _, r := range c.replicas {
 		if live[r.ID] {
 			// Write-ahead: the decision reaches the WAL before the apply,

@@ -1,0 +1,543 @@
+package transport
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"genconsensus/internal/auth"
+	"genconsensus/internal/model"
+	"genconsensus/internal/wire"
+)
+
+// The payload plane: content-addressed dissemination of proposal bodies
+// under the voting plane. A proposer announces its encoded batch once
+// (PAYLOAD frames on the established session links — full mesh, or k
+// random peers in gossip-fanout mode) and votes with the 32-byte digest;
+// receivers resolve digests against the local PayloadStore and pull
+// misses by digest over dedicated connections (FETCH/FETCH-REPLY, the
+// state-transfer shape). Everything a hostile peer can send here is
+// bounded: the store has a byte budget with FIFO eviction, announce and
+// reply bodies are verified against their digest before a byte is kept
+// (a mismatch is a strike), fetch requests must carry a pairwise MAC, and
+// unresolvable digests are retried a fixed number of times and then
+// banned, so they can neither pin memory nor stall the fetch worker.
+
+// Payload-plane limits.
+const (
+	// payloadWantTries is how many fetch rounds (each trying several
+	// peers) a missing digest gets before it is written off as hostile.
+	payloadWantTries = 2
+	// payloadFetchPeers bounds the peers tried per fetch round.
+	payloadFetchPeers = 3
+	// payloadPerPeerInflight caps concurrent fetches against one peer, so
+	// a burst of misses cannot dogpile a single member.
+	payloadPerPeerInflight = 2
+	// payloadMaxWants bounds the missing-digest queue; beyond it new
+	// misses are dropped (the chooser re-registers on real demand).
+	payloadMaxWants = 512
+	// payloadMaxStrikes bounds the abandoned-digest ban list.
+	payloadMaxStrikes = 4096
+)
+
+// Errors returned by the payload plane.
+var (
+	ErrPayloadNotCached = errors.New("transport: payload not cached at peer")
+	ErrPayloadForged    = errors.New("transport: payload digest mismatch")
+)
+
+type payloadEntry struct {
+	group wire.GroupID
+	data  []byte
+}
+
+// payloadStore is the bounded, byte-budgeted, sha256-keyed store behind
+// the payload plane, plus the want/strike bookkeeping of the fetch path.
+// One store serves every group; bytes and entries are accounted per group
+// for the observability surface.
+type payloadStore struct {
+	mu       sync.Mutex
+	entries  map[[sha256.Size]byte]payloadEntry
+	order    [][sha256.Size]byte // FIFO eviction order
+	bytes    int
+	maxBytes int
+
+	groupBytes   []int64 // per-group store bytes (gauge source)
+	groupEntries []int64
+
+	// wants are digests the voting plane missed and the fetch worker
+	// should pull; inflight marks those a fetch round is working on.
+	wants    map[[sha256.Size]byte]wire.GroupID
+	inflight map[[sha256.Size]byte]bool
+	tries    map[[sha256.Size]byte]int
+	// strikes bans digests that exhausted their fetch budget: almost
+	// certainly Byzantine references to bytes nobody ever published.
+	strikes map[[sha256.Size]byte]bool
+}
+
+func newPayloadStore(maxBytes, groups int) *payloadStore {
+	return &payloadStore{
+		entries:      make(map[[sha256.Size]byte]payloadEntry),
+		maxBytes:     maxBytes,
+		groupBytes:   make([]int64, groups),
+		groupEntries: make([]int64, groups),
+		wants:        make(map[[sha256.Size]byte]wire.GroupID),
+		inflight:     make(map[[sha256.Size]byte]bool),
+		tries:        make(map[[sha256.Size]byte]int),
+		strikes:      make(map[[sha256.Size]byte]bool),
+	}
+}
+
+// put stores data (which the caller owns and has digest-verified) and
+// evicts oldest-first past the byte budget. The newest entry always
+// stays, so a single oversized-but-legal payload cannot starve itself.
+// Returns the number of evictions.
+func (s *payloadStore) put(g wire.GroupID, sum [sha256.Size]byte, data []byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[sum]; dup {
+		return 0
+	}
+	s.entries[sum] = payloadEntry{group: g, data: data}
+	s.order = append(s.order, sum)
+	s.bytes += len(data)
+	s.groupBytes[g] += int64(len(data))
+	s.groupEntries[g]++
+	delete(s.wants, sum) // arrived by push while we were about to pull
+	evicted := 0
+	for s.bytes > s.maxBytes && len(s.order) > 1 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		e, ok := s.entries[victim]
+		if !ok {
+			continue
+		}
+		delete(s.entries, victim)
+		s.bytes -= len(e.data)
+		s.groupBytes[e.group] -= int64(len(e.data))
+		s.groupEntries[e.group]--
+		evicted++
+	}
+	return evicted
+}
+
+// get returns the stored payload for sum.
+func (s *payloadStore) get(sum [sha256.Size]byte) ([]byte, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[sum]
+	s.mu.Unlock()
+	return e.data, ok
+}
+
+// want registers a miss for the fetch worker unless the digest is banned,
+// already wanted, or the want queue is full. Reports whether the worker
+// should be woken.
+func (s *payloadStore) want(g wire.GroupID, sum [sha256.Size]byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.strikes[sum] {
+		return false
+	}
+	if _, ok := s.wants[sum]; ok {
+		return false
+	}
+	if len(s.wants) >= payloadMaxWants {
+		return false
+	}
+	s.wants[sum] = g
+	return true
+}
+
+// nextWant hands the fetch worker one want not already in flight.
+func (s *payloadStore) nextWant() (wire.GroupID, [sha256.Size]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sum, g := range s.wants {
+		if s.inflight[sum] {
+			continue
+		}
+		s.inflight[sum] = true
+		return g, sum, true
+	}
+	return 0, [sha256.Size]byte{}, false
+}
+
+// fetchDone records a fetch round's outcome for sum. A failed round
+// beyond the try budget bans the digest (strike accounting); reports
+// whether the digest was abandoned.
+func (s *payloadStore) fetchDone(sum [sha256.Size]byte, ok bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, sum)
+	if ok {
+		delete(s.wants, sum)
+		delete(s.tries, sum)
+		return false
+	}
+	s.tries[sum]++
+	if s.tries[sum] < payloadWantTries {
+		return false
+	}
+	delete(s.wants, sum)
+	delete(s.tries, sum)
+	if len(s.strikes) >= payloadMaxStrikes {
+		// Crude but bounded: forget old bans rather than grow without
+		// limit. A re-offending digest just earns its strikes again.
+		s.strikes = make(map[[sha256.Size]byte]bool)
+	}
+	s.strikes[sum] = true
+	return true
+}
+
+func (s *payloadStore) stats() (bytes int, entries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes, len(s.entries)
+}
+
+func (s *payloadStore) groupStats(g wire.GroupID) (bytes, entries int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(g) >= len(s.groupBytes) {
+		return 0, 0
+	}
+	return s.groupBytes[g], s.groupEntries[g]
+}
+
+// PayloadStoreStats reports the store's current footprint.
+func (n *Node) PayloadStoreStats() (bytes, entries int) {
+	return n.store.stats()
+}
+
+// AnnouncePayload publishes one content-addressed proposal body: it lands
+// in the local store (so this node can serve fetches and resolve its own
+// vote) and is pushed once to the configured peers — every peer, or
+// GossipFanout random ones. data is copied; the caller keeps ownership.
+func (n *Node) AnnouncePayload(g wire.GroupID, sum [sha256.Size]byte, data []byte) {
+	if int(g) >= n.cfg.Groups || len(data) == 0 || len(data) > wire.MaxPayloadDataBytes {
+		return
+	}
+	if ev := n.store.put(g, sum, append([]byte(nil), data...)); ev > 0 {
+		n.m.payloadEvictions[g].Add(uint64(ev))
+	}
+	for _, p := range n.pushTargets() {
+		pc := n.connTo(p)
+		if pc == nil {
+			continue
+		}
+		frame := wire.BeginFrame(wire.GetFrame())
+		frame = wire.AppendPayload(frame, wire.Payload{
+			Kind:   wire.PayloadAnnounce,
+			Group:  g,
+			Sender: n.cfg.ID,
+			Digest: sum,
+			Data:   data,
+		})
+		frame, err := wire.FinishFrame(frame)
+		if err != nil {
+			wire.PutFrame(frame)
+			continue
+		}
+		if !pc.enqueueFrame(frame) {
+			n.forgetConn(pc)
+		}
+	}
+}
+
+// pushTargets returns the peers an announce goes to: all of them in mesh
+// mode, GossipFanout random ones in gossip mode.
+func (n *Node) pushTargets() []model.PID {
+	n.mu.Lock()
+	peers := make([]model.PID, 0, len(n.cfg.Peers))
+	for p, addr := range n.cfg.Peers {
+		if p != n.cfg.ID && addr != "" {
+			peers = append(peers, p)
+		}
+	}
+	n.mu.Unlock()
+	k := n.cfg.GossipFanout
+	if k <= 0 || k >= len(peers) {
+		return peers
+	}
+	rand.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	return peers[:k]
+}
+
+// ResolvePayload answers the voting plane's resolve-before-weigh lookup:
+// the stored body on a hit; on a miss it registers the digest with the
+// asynchronous fetch worker and reports failure now (an unresolved digest
+// weighs zero this round and resolves by push or pull before a later
+// one). Never blocks.
+func (n *Node) ResolvePayload(g wire.GroupID, sum [sha256.Size]byte) ([]byte, bool) {
+	if int(g) >= n.cfg.Groups {
+		return nil, false
+	}
+	if data, ok := n.store.get(sum); ok {
+		n.m.payloadHits[g].Inc()
+		if saved := len(data) - (len(sum) + 8); saved > 0 {
+			n.m.payloadBytesSaved[g].Add(uint64(saved))
+		}
+		return data, true
+	}
+	n.m.payloadMisses[g].Inc()
+	if n.store.want(g, sum) {
+		select {
+		case n.payloadWant <- struct{}{}:
+		default:
+		}
+	}
+	return nil, false
+}
+
+// payloadFetchLoop is the pull half of the dissemination protocol: it
+// drains the want queue, fetching each missing digest from a few peers in
+// random order with a small global concurrency budget and a per-peer
+// inflight cap.
+func (n *Node) payloadFetchLoop() {
+	defer n.wg.Done()
+	sem := make(chan struct{}, n.cfg.PayloadFetchInflight)
+	var inflightMu sync.Mutex
+	perPeer := make(map[model.PID]int)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.payloadWant:
+		}
+		for {
+			g, sum, ok := n.store.nextWant()
+			if !ok {
+				break
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-n.stop:
+				return
+			}
+			n.wg.Add(1)
+			go func(g wire.GroupID, sum [sha256.Size]byte) {
+				defer n.wg.Done()
+				defer func() { <-sem }()
+				fetched := false
+				for _, p := range n.fetchOrder() {
+					inflightMu.Lock()
+					busy := perPeer[p] >= payloadPerPeerInflight
+					if !busy {
+						perPeer[p]++
+					}
+					inflightMu.Unlock()
+					if busy {
+						continue
+					}
+					data, err := n.FetchPayload(p, g, sum, n.cfg.BaseTimeout*4)
+					inflightMu.Lock()
+					perPeer[p]--
+					inflightMu.Unlock()
+					if err == nil {
+						if ev := n.store.put(g, sum, data); ev > 0 {
+							n.m.payloadEvictions[g].Add(uint64(ev))
+						}
+						fetched = true
+						break
+					}
+				}
+				if !fetched {
+					n.m.payloadFetchFails[g].Inc()
+				}
+				if n.store.fetchDone(sum, fetched) {
+					n.m.payloadAbandoned[g].Inc()
+					n.events.Emit(int(g), "payload.abandoned", "digest", fmt.Sprintf("%x", sum[:8]))
+				}
+				// Self-pump: a failed round leaves the want queued for its
+				// next try; re-wake the drain loop so retries don't have to
+				// wait for an unrelated miss. The try budget guarantees this
+				// terminates.
+				select {
+				case n.payloadWant <- struct{}{}:
+				default:
+				}
+			}(g, sum)
+		}
+	}
+}
+
+// fetchOrder returns up to payloadFetchPeers live-configured peers in
+// random order.
+func (n *Node) fetchOrder() []model.PID {
+	peers := n.pushTargetsAll()
+	rand.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	if len(peers) > payloadFetchPeers {
+		peers = peers[:payloadFetchPeers]
+	}
+	return peers
+}
+
+// pushTargetsAll lists every configured peer regardless of fanout.
+func (n *Node) pushTargetsAll() []model.PID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	peers := make([]model.PID, 0, len(n.cfg.Peers))
+	for p, addr := range n.cfg.Peers {
+		if p != n.cfg.ID && addr != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// FetchPayload pulls one payload by digest from a peer over a dedicated
+// connection (the FetchDecision shape: sealed request, synchronous
+// reply). The reply authenticates itself: sha256(data) must equal the
+// requested digest, so a forged body is rejected — and counted — for the
+// price of one hash.
+func (n *Node) FetchPayload(from model.PID, g wire.GroupID, sum [sha256.Size]byte, timeout time.Duration) ([]byte, error) {
+	n.mu.Lock()
+	addr, ok := n.cfg.Peers[from]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok || addr == "" || from == n.cfg.ID {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, from)
+	}
+	if int(g) < len(n.m.payloadFetches) {
+		n.m.payloadFetches[g].Inc()
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %d: %w", from, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+
+	key := auth.PairKey(n.cfg.AuthSeed, n.cfg.ID, from)
+	req := wire.Payload{Kind: wire.PayloadFetch, Group: g, Sender: n.cfg.ID, Digest: sum}
+	frame := wire.AppendSignedPayload(make([]byte, 0, 128), req, func(covered []byte) []byte {
+		return auth.MAC(key, covered)
+	})
+	if err := wire.WriteFrame(conn, frame); err != nil {
+		return nil, fmt.Errorf("transport: requesting payload from %d: %w", from, err)
+	}
+	payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading payload from %d: %w", from, err)
+	}
+	reply, err := wire.DecodePayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("transport: peer %d: %w", from, err)
+	}
+	switch reply.Kind {
+	case wire.PayloadFetchNone:
+		return nil, fmt.Errorf("%w: peer %d digest %x", ErrPayloadNotCached, from, sum[:8])
+	case wire.PayloadFetchReply:
+		if reply.Digest != sum || sha256.Sum256(reply.Data) != sum {
+			if int(g) < len(n.m.payloadForged) {
+				n.m.payloadForged[g].Inc()
+			}
+			return nil, fmt.Errorf("%w: peer %d", ErrPayloadForged, from)
+		}
+		return append([]byte(nil), reply.Data...), nil
+	default:
+		return nil, fmt.Errorf("transport: peer %d: unexpected payload kind %d", from, reply.Kind)
+	}
+}
+
+// handlePayloadFrame dispatches the payload-plane family: announces on
+// handshaken peer links, fetch requests on dedicated dialed connections.
+func (n *Node) handlePayloadFrame(c *Conn, payload []byte) error {
+	p, err := wire.DecodePayload(payload)
+	if err != nil {
+		return c.strike()
+	}
+	switch p.Kind {
+	case wire.PayloadAnnounce:
+		// Announces ride the session link only: the handshake pins the
+		// pusher's identity, so an unauthenticated dialer cannot fill the
+		// store (its contents steer the chooser's weights).
+		if !c.sessioned {
+			return c.strike()
+		}
+		if int(p.Group) >= n.cfg.Groups || len(p.Data) == 0 {
+			return c.strike()
+		}
+		if sha256.Sum256(p.Data) != p.Digest {
+			// Forged body under a true digest or vice versa; either way
+			// the frame lies about its content address.
+			n.m.payloadForged[p.Group].Inc()
+			return c.strike()
+		}
+		if ev := n.store.put(p.Group, p.Digest, append([]byte(nil), p.Data...)); ev > 0 {
+			n.m.payloadEvictions[p.Group].Add(uint64(ev))
+		}
+		return nil
+	case wire.PayloadFetch:
+		// Fetches use the state-transfer shape: dedicated never-handshaken
+		// connections, pairwise-sealed requests. On a session link a
+		// sealed frame is a downgrade attempt.
+		if c.sessioned {
+			return errDowngrade
+		}
+		return n.servePayloadFetch(c, payload, p)
+	default:
+		return c.strike()
+	}
+}
+
+// servePayloadFetch answers one pull. Misses are not strikes — an honest
+// laggard may ask for digests this node already evicted — but malformed
+// or forged requests are.
+func (n *Node) servePayloadFetch(c *Conn, payload []byte, p wire.Payload) error {
+	if int(p.Sender) >= n.cfg.N || p.Sender == n.cfg.ID || int(p.Group) >= n.cfg.Groups {
+		return c.strike()
+	}
+	covered, mac, ok := wire.SplitSealed(payload)
+	if !ok || !auth.CheckMAC(n.pairKey(p.Sender), covered, mac) {
+		return c.strike()
+	}
+	reply := wire.Payload{Kind: wire.PayloadFetchNone, Group: p.Group, Sender: n.cfg.ID, Digest: p.Digest}
+	if data, found := n.store.get(p.Digest); found {
+		reply.Kind = wire.PayloadFetchReply
+		reply.Data = data
+		n.m.payloadFetchServed[p.Group].Inc()
+	} else {
+		n.m.payloadFetchUnknown[p.Group].Inc()
+	}
+	if err := wire.WriteFrame(c.conn, wire.AppendPayload(make([]byte, 0, 64+len(reply.Data)), reply)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// enqueueFrame queues one completed (length-prefixed) frame on the peer
+// link, taking ownership of the buffer — the raw-frame sibling of
+// enqueue, used by payload announces, which authenticate by content
+// rather than by session tag. Same backpressure rule: a full queue drops
+// the frame rather than blocking the caller.
+func (pc *peerConn) enqueueFrame(frame []byte) bool {
+	pc.mu.Lock()
+	if pc.failed {
+		pc.mu.Unlock()
+		wire.PutFrame(frame)
+		return false
+	}
+	if len(pc.pending) >= pc.node.cfg.MaxPendingFrames {
+		pc.mu.Unlock()
+		wire.PutFrame(frame)
+		pc.node.m.framesDropped.Inc()
+		return true
+	}
+	pc.pending = append(pc.pending, frame)
+	pc.mu.Unlock()
+	pc.node.m.framesOut.Inc()
+	pc.node.m.bytesOut.Add(uint64(len(frame)))
+	select {
+	case pc.signal <- struct{}{}:
+	default:
+	}
+	return true
+}

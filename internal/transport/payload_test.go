@@ -1,0 +1,259 @@
+package transport
+
+// Hostile-digest corpus for the payload plane: forged announces, forged
+// fetch replies, oversized frames, unresolvable-digest floods and
+// eviction under budget. The invariants under attack: the store never
+// exceeds its byte budget, never keeps bytes that don't hash to their
+// claimed digest, bounds the state a flood of junk digests can pin, and
+// the fetch worker always terminates (strike accounting) instead of
+// retrying hostile references forever.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"genconsensus/internal/wire"
+)
+
+func payloadBody(s string) ([sha256.Size]byte, []byte) {
+	data := []byte(s)
+	return sha256.Sum256(data), data
+}
+
+// waitResolved polls until the node's store resolves sum.
+func waitResolved(t *testing.T, n *Node, sum [sha256.Size]byte, want []byte) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, ok := n.store.get(sum); ok {
+			if !bytes.Equal(data, want) {
+				t.Fatalf("resolved %q, want %q", data, want)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("digest %x never resolved", sum[:8])
+}
+
+// An announce lands in the local store and is pushed to every peer.
+func TestPayloadAnnounceDelivers(t *testing.T) {
+	nodes := startCluster(t, 3)
+	sum, data := payloadBody("announced once, voted by digest")
+	nodes[1].AnnouncePayload(0, sum, data)
+	for i, n := range nodes {
+		waitResolved(t, n, sum, data)
+		if got, ok := n.ResolvePayload(0, sum); !ok || !bytes.Equal(got, data) {
+			t.Fatalf("node %d: ResolvePayload miss after announce", i)
+		}
+	}
+}
+
+// A resolve miss registers a want and the fetch worker pulls the payload
+// from a peer that holds it — the gossip-fanout recovery path.
+func TestPayloadMissPullsFromPeer(t *testing.T) {
+	nodes := startCluster(t, 2)
+	sum, data := payloadBody("held by peer 1 only")
+	nodes[1].store.put(0, sum, data)
+	if _, ok := nodes[0].ResolvePayload(0, sum); ok {
+		t.Fatal("resolved before any dissemination")
+	}
+	waitResolved(t, nodes[0], sum, data)
+}
+
+// FetchPayload pulls by digest over a dedicated connection; a digest the
+// peer doesn't hold answers PayloadFetchNone, which is an error but not a
+// strike (honest laggards ask for evicted digests).
+func TestPayloadFetchDirect(t *testing.T) {
+	nodes := startCluster(t, 2)
+	sum, data := payloadBody("direct pull")
+	nodes[1].store.put(0, sum, data)
+	got, err := nodes[0].FetchPayload(1, 0, sum, time.Second)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("FetchPayload = %q, %v", got, err)
+	}
+	missing := sha256.Sum256([]byte("never announced"))
+	if _, err := nodes[0].FetchPayload(1, 0, missing, time.Second); err == nil {
+		t.Fatal("fetch of unknown digest succeeded")
+	}
+}
+
+// A forged announce — body that doesn't hash to the claimed digest —
+// never enters the store, and a flood of them exhausts the strike budget
+// and drops the connection.
+func TestPayloadForgedAnnounceStrikes(t *testing.T) {
+	nodes := startCluster(t, 2)
+	conn := dialNode(t, nodes[0])
+	handshakeAs(t, conn, nodes[0], 1)
+	sum, _ := payloadBody("the real body")
+	forged := wire.AppendPayload(nil, wire.Payload{
+		Kind: wire.PayloadAnnounce, Group: 0, Sender: 1,
+		Digest: sum, Data: []byte("not the real body"),
+	})
+	for i := 0; i <= nodes[0].cfg.MaxAuthFailures; i++ {
+		if err := wire.WriteFrame(conn, forged); err != nil {
+			break // server already dropped us
+		}
+	}
+	waitClosed(t, conn)
+	if _, ok := nodes[0].store.get(sum); ok {
+		t.Fatal("forged body entered the store")
+	}
+}
+
+// An oversized payload frame is malformed on arrival: struck, never
+// stored, connection dropped once the budget runs out.
+func TestPayloadOversizedFrameStrikes(t *testing.T) {
+	nodes := startCluster(t, 2)
+	conn := dialNode(t, nodes[0])
+	handshakeAs(t, conn, nodes[0], 1)
+	data := bytes.Repeat([]byte("x"), wire.MaxPayloadDataBytes+1)
+	frame := wire.AppendPayload(nil, wire.Payload{
+		Kind: wire.PayloadAnnounce, Group: 0, Sender: 1,
+		Digest: sha256.Sum256(data), Data: data,
+	})
+	for i := 0; i <= nodes[0].cfg.MaxAuthFailures; i++ {
+		if err := wire.WriteFrame(conn, frame); err != nil {
+			break
+		}
+	}
+	waitClosed(t, conn)
+	if bytesHeld, entries := nodes[0].PayloadStoreStats(); entries != 0 || bytesHeld != 0 {
+		t.Fatalf("oversized payload stored: %d bytes, %d entries", bytesHeld, entries)
+	}
+}
+
+// A fetch request on a handshaken session link is a downgrade attempt and
+// drops the connection immediately.
+func TestPayloadFetchOnSessionLinkDropsConn(t *testing.T) {
+	nodes := startCluster(t, 2)
+	conn := dialNode(t, nodes[0])
+	handshakeAs(t, conn, nodes[0], 1)
+	sum, _ := payloadBody("whatever")
+	req := wire.AppendPayload(nil, wire.Payload{Kind: wire.PayloadFetch, Group: 0, Sender: 1, Digest: sum})
+	if err := wire.WriteFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	waitClosed(t, conn)
+}
+
+// A peer answering a fetch with a body that doesn't hash to the requested
+// digest is caught by the content check: the reply is rejected and
+// counted, never trusted.
+func TestPayloadForgedFetchReply(t *testing.T) {
+	nodes := startCluster(t, 2)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := wire.DecodePayload(payload)
+		if err != nil {
+			return
+		}
+		_ = wire.WriteFrame(conn, wire.AppendPayload(nil, wire.Payload{
+			Kind: wire.PayloadFetchReply, Group: req.Group, Sender: 1,
+			Digest: req.Digest, Data: []byte("poison"),
+		}))
+	}()
+	nodes[0].mu.Lock()
+	nodes[0].cfg.Peers[1] = ln.Addr().String()
+	nodes[0].mu.Unlock()
+	sum, _ := payloadBody("the honest payload")
+	if _, err := nodes[0].FetchPayload(1, 0, sum, time.Second); err == nil {
+		t.Fatal("forged fetch reply accepted")
+	}
+	if _, ok := nodes[0].store.get(sum); ok {
+		t.Fatal("forged body entered the store")
+	}
+}
+
+// The store never exceeds its byte budget: eviction is oldest-first and
+// the newest entry always survives, even alone over budget.
+func TestPayloadStoreEvictionUnderBudget(t *testing.T) {
+	s := newPayloadStore(100, 1)
+	var sums [][sha256.Size]byte
+	for i := 0; i < 10; i++ {
+		sum, data := payloadBody(fmt.Sprintf("entry-%d-0123456789012345678901234567890123456789", i))
+		s.put(0, sum, data)
+		sums = append(sums, sum)
+		if bytesHeld, _ := s.stats(); bytesHeld > 100 && len(s.entries) > 1 {
+			t.Fatalf("store over budget: %d bytes", bytesHeld)
+		}
+	}
+	if _, ok := s.get(sums[0]); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := s.get(sums[len(sums)-1]); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	// A single entry larger than the whole budget is still admitted — the
+	// newest entry is never its own victim — but evicts everything else.
+	big := bytes.Repeat([]byte("b"), 200)
+	bigSum := sha256.Sum256(big)
+	s.put(0, bigSum, big)
+	if _, ok := s.get(bigSum); !ok {
+		t.Fatal("over-budget singleton rejected")
+	}
+	if _, entries := s.stats(); entries != 1 {
+		t.Fatalf("eviction left %d entries alongside the big one", entries)
+	}
+}
+
+// A flood of unresolvable digests pins only bounded state: the want queue
+// caps out, every fetch round fails fast, and each digest is abandoned
+// (banned) after its try budget — re-resolving a banned digest registers
+// nothing.
+func TestPayloadHostileDigestFloodBounded(t *testing.T) {
+	nodes := startCluster(t, 2)
+	n := nodes[0]
+	hostile := sha256.Sum256([]byte("digest of nothing"))
+	if _, ok := n.ResolvePayload(0, hostile); ok {
+		t.Fatal("resolved a digest of nothing")
+	}
+	// The fetch worker must give up on it: tries exhausted, digest banned.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n.store.mu.Lock()
+		banned := n.store.strikes[hostile]
+		n.store.mu.Unlock()
+		if banned {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hostile digest never abandoned")
+		}
+		// Keep demand up, as the chooser would on every weigh.
+		n.ResolvePayload(0, hostile)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n.store.want(0, hostile) {
+		t.Fatal("banned digest re-registered a want")
+	}
+	// Flood: the want queue must stay bounded no matter how many junk
+	// digests arrive.
+	for i := 0; i < payloadMaxWants+200; i++ {
+		junk := sha256.Sum256([]byte(fmt.Sprintf("junk-%d", i)))
+		n.ResolvePayload(0, junk)
+	}
+	n.store.mu.Lock()
+	wants := len(n.store.wants)
+	n.store.mu.Unlock()
+	if wants > payloadMaxWants {
+		t.Fatalf("want queue unbounded: %d > %d", wants, payloadMaxWants)
+	}
+}

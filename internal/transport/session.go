@@ -134,12 +134,13 @@ func (n *Node) handler(version uint8) FrameHandler {
 	return fn
 }
 
-// registerBuiltins wires the four built-in frame families.
+// registerBuiltins wires the five built-in frame families.
 func (n *Node) registerBuiltins() {
 	n.RegisterHandler(wire.Version, n.handleEnvelopeFrame)
 	n.RegisterHandler(wire.SnapVersion, n.handleSnapRequest)
 	n.RegisterHandler(wire.HelloVersion, n.handleHelloCounted)
 	n.RegisterHandler(wire.SessionVersion, n.handleSessionFrame)
+	n.RegisterHandler(wire.PayloadVersion, n.handlePayloadFrame)
 }
 
 // handleHelloCounted is handleHello plus outcome accounting: a rejected

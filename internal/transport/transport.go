@@ -106,6 +106,17 @@ type Config struct {
 	// bound are dropped, so a Byzantine peer cannot allocate per-group
 	// state for groups the deployment never configured.
 	Groups int
+	// PayloadStoreBytes is the byte budget of the content-addressed
+	// payload store backing digest voting (default 8 MiB). Past it the
+	// store evicts oldest-first; evicted payloads remain reachable through
+	// decision catch-up once decided.
+	PayloadStoreBytes int
+	// GossipFanout, when positive, pushes each payload announce to that
+	// many random peers instead of the full mesh; the remaining peers
+	// pull by digest on demand. Zero means announce to everyone.
+	GossipFanout int
+	// PayloadFetchInflight bounds concurrent digest pulls (default 4).
+	PayloadFetchInflight int
 	// Metrics, when non-nil, receives the transport's instrument set
 	// (frames/bytes per family, write coalescing, handshake outcomes,
 	// strike-budget trips, decision-ring hits). Nil disables metrics at
@@ -148,6 +159,9 @@ type Node struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	instAdded chan struct{} // pulsed when a new instance buffer appears
+
+	store       *payloadStore // content-addressed payload plane
+	payloadWant chan struct{} // pulsed when a digest miss needs fetching
 }
 
 // groupState is the per-consensus-group slice of the node's state. Groups
@@ -232,6 +246,12 @@ func Listen(cfg Config) (*Node, error) {
 	if cfg.Groups <= 0 {
 		cfg.Groups = 1
 	}
+	if cfg.PayloadStoreBytes <= 0 {
+		cfg.PayloadStoreBytes = 8 << 20
+	}
+	if cfg.PayloadFetchInflight <= 0 {
+		cfg.PayloadFetchInflight = 4
+	}
 	addr := cfg.ListenAddr
 	if addr == "" {
 		addr = cfg.Peers[cfg.ID]
@@ -250,8 +270,24 @@ func Listen(cfg Config) (*Node, error) {
 		groups:    make(map[wire.GroupID]*groupState),
 		stop:      make(chan struct{}),
 		instAdded: make(chan struct{}, 1),
-		m:         resolveMetrics(cfg.Metrics),
+		m:         resolveMetrics(cfg.Metrics, cfg.Groups),
 		events:    cfg.Events,
+
+		store:       newPayloadStore(cfg.PayloadStoreBytes, cfg.Groups),
+		payloadWant: make(chan struct{}, 1),
+	}
+	if cfg.Metrics != nil {
+		for g := 0; g < cfg.Groups; g++ {
+			g := wire.GroupID(g)
+			cfg.Metrics.GaugeFunc(fmt.Sprintf("g%d.transport.payload_store_bytes", g), func() int64 {
+				bytes, _ := n.store.groupStats(g)
+				return bytes
+			})
+			cfg.Metrics.GaugeFunc(fmt.Sprintf("g%d.transport.payload_store_entries", g), func() int64 {
+				_, entries := n.store.groupStats(g)
+				return entries
+			})
+		}
 	}
 	// Pairwise keys are fixed for the node's lifetime; deriving them per
 	// frame (a SHA-256 each) was pure waste on the hot path.
@@ -259,8 +295,9 @@ func Listen(cfg Config) (*Node, error) {
 		n.pairKeys[p] = auth.PairKey(cfg.AuthSeed, cfg.ID, model.PID(p))
 	}
 	n.registerBuiltins()
-	n.wg.Add(1)
+	n.wg.Add(2)
 	go n.acceptLoop()
+	go n.payloadFetchLoop()
 	return n, nil
 }
 
@@ -354,7 +391,7 @@ func (n *Node) readLoop(conn net.Conn) {
 			return
 		}
 		buf = nbuf
-		v := wire.PayloadVersion(payload)
+		v := wire.FrameFamily(payload)
 		n.m.framesIn[v].Inc()
 		n.m.bytesIn[v].Add(uint64(len(payload)))
 		h := n.handler(v)

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+)
+
+func TestPayloadRoundTrip(t *testing.T) {
+	data := []byte("some encoded batch body")
+	p := Payload{
+		Kind:   PayloadAnnounce,
+		Group:  7,
+		Sender: 3,
+		Digest: sha256.Sum256(data),
+		Data:   data,
+	}
+	enc := AppendPayload(nil, p)
+	if !IsPayloadFrame(enc) {
+		t.Fatal("IsPayloadFrame = false")
+	}
+	if FrameFamily(enc) != PayloadVersion {
+		t.Fatalf("FrameFamily = %d, want %d", FrameFamily(enc), PayloadVersion)
+	}
+	got, err := DecodePayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != p.Kind || got.Group != p.Group || got.Sender != p.Sender ||
+		got.Digest != p.Digest || !bytes.Equal(got.Data, p.Data) || len(got.Auth) != 0 {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestPayloadSigned(t *testing.T) {
+	p := Payload{Kind: PayloadFetch, Group: 1, Sender: 2, Digest: sha256.Sum256([]byte("x"))}
+	mac := []byte("0123456789abcdef0123456789abcdef")
+	var covered []byte
+	enc := AppendSignedPayload(nil, p, func(payload []byte) []byte {
+		covered = append([]byte(nil), payload...)
+		return mac
+	})
+	gotCovered, gotMAC, ok := SplitSealed(enc)
+	if !ok {
+		t.Fatal("SplitSealed failed")
+	}
+	if !bytes.Equal(gotCovered, covered) || !bytes.Equal(gotMAC, mac) {
+		t.Fatal("sealed layout mismatch")
+	}
+	got, err := DecodePayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Auth, mac) || got.Kind != PayloadFetch || got.Sender != 2 {
+		t.Fatalf("signed round trip mismatch: %+v", got)
+	}
+}
+
+func TestPayloadRejectsMalformed(t *testing.T) {
+	data := make([]byte, MaxPayloadDataBytes+1)
+	oversized := AppendPayload(nil, Payload{Kind: PayloadAnnounce, Digest: sha256.Sum256(data), Data: data})
+	if _, err := DecodePayload(oversized); err == nil {
+		t.Fatal("oversized data accepted")
+	}
+	good := AppendPayload(nil, Payload{Kind: PayloadAnnounce, Digest: sha256.Sum256(nil)})
+	if _, err := DecodePayload(append(good, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodePayload(good[:len(good)-3]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, err := DecodePayload([]byte{Version}); err == nil {
+		t.Fatal("wrong family accepted")
+	}
+}

@@ -155,9 +155,9 @@ func SplitSessionFrame(payload []byte) (seq uint64, tag, inner []byte, err error
 	return seq, payload[9 : 9+SessionTagSize], payload[sessionHeaderSize:], nil
 }
 
-// PayloadVersion returns the frame family discriminator (first payload
+// FrameFamily returns the frame family discriminator (first payload
 // byte), or 0 for an empty payload.
-func PayloadVersion(payload []byte) uint8 {
+func FrameFamily(payload []byte) uint8 {
 	if len(payload) == 0 {
 		return 0
 	}

@@ -186,7 +186,7 @@ func TestSessionFrameRoundTrip(t *testing.T) {
 	if !IsSessionPayload(payload) {
 		t.Fatal("IsSessionPayload false for a session frame")
 	}
-	if PayloadVersion(payload) != SessionVersion {
+	if FrameFamily(payload) != SessionVersion {
 		t.Fatal("PayloadVersion mismatch")
 	}
 	seq, tag, gotInner, err := SplitSessionFrame(payload)
