@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth bench-disk bench-wire bench-shard bench-obs bench-gossip fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke bench-json bench-tcp bench-auth bench-disk bench-wire bench-shard bench-obs bench-gossip bench-read fmt fmt-check vet ci
 
 # Iteration budget for bench-json; CI uses the fast single pass.
 BENCHTIME ?= 1x
@@ -148,6 +148,27 @@ bench-gossip:
 	$(GO) run ./cmd/benchgate -input BENCH_gossip.json \
 		-ratio 'BenchmarkTCPKVLoadGossip/mode=digest/N=6:BenchmarkTCPKVLoadGossip/mode=mesh/N=6:cmds/sec:$(GOSSIP_PARITY)' \
 		-ratio 'BenchmarkTCPKVLoadGossip/mode=mesh/N=6:BenchmarkTCPKVLoadGossip/mode=digest/N=6:vote-bytes/inst:$(GOSSIP_SHRINK)'
+
+# Read-plane benchmark artifact: kvload mixed read/write sweeps at
+# READ_RATIOS read percentages on one n=4 cluster (batch 64, depth 4, best
+# of READ_REPS). R=0 is the write-only floor at the same cluster shape;
+# reads ride the read-index local path (READ verb — no consensus instance),
+# so benchgate -ratio enforces the acceptance bound: R=99 mixed throughput
+# at least READ_SCALE times the write-only floor.
+READ_RATIOS ?= 0,50,90,99
+READ_CMDS ?= 2000
+READ_BATCH ?= 64
+READ_DEPTH ?= 4
+READ_REPS ?= 3
+READ_SCALE ?= 3.0
+
+bench-read:
+	$(GO) run ./cmd/kvload -read-ratios $(READ_RATIOS) -n 4 -cmds $(READ_CMDS) \
+		-batch $(READ_BATCH) -depths $(READ_DEPTH) -reps $(READ_REPS) > BENCH_read.txt
+	cat BENCH_read.txt
+	$(GO) run ./cmd/benchjson < BENCH_read.txt > BENCH_read.json
+	$(GO) run ./cmd/benchgate -input BENCH_read.json \
+		-ratio 'BenchmarkTCPKVLoadMixed/R=99:BenchmarkTCPKVLoadMixed/R=0:cmds/sec:$(READ_SCALE)'
 
 # Observability-overhead benchmark artifact: the identical pipelined SMR
 # load with the metrics registry on and off (wall-clock cmds/sec). benchgate

@@ -3,6 +3,12 @@
 // at least one correct replica queues it; duplicates are suppressed by
 // request id), then the client polls a replica until the write is applied.
 //
+// get is a quorum read: kvctl fans READ <key> to every replica and accepts
+// only a value b+1 stamped replies agree on (the Byzantine read
+// certificate, see -b and docs/READS.md) — a single replica, forging or
+// mid-recovery, can neither serve a fabricated value nor a spurious
+// NOTFOUND. -stale restores the old single-replica GET.
+//
 // mset coalesces many writes client-side: all CMD lines are pipelined over
 // a single connection per replica, so the replicas queue them together and
 // the SMR layer decides them as one batch (one consensus instance for the
@@ -34,7 +40,8 @@
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201 mset color green shape circle size big
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 -auth -client-id 3 set color green
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 -session -client-id 3 mset a 1 b 2
-//	go run ./cmd/kvctl -nodes 127.0.0.1:7200 get color
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200,127.0.0.1:7201 get color
+//	go run ./cmd/kvctl -nodes 127.0.0.1:7200 -stale get color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 del color
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 loglen
 //	go run ./cmd/kvctl -nodes 127.0.0.1:7200 shards
@@ -65,6 +72,7 @@ import (
 
 	"genconsensus/internal/auth"
 	"genconsensus/internal/kv"
+	"genconsensus/internal/readq"
 )
 
 // writer builds protocol lines for write commands: anonymous CMD lines in
@@ -118,7 +126,8 @@ func main() {
 		clientID   = flag.Uint("client-id", 0, "this client's keyring id")
 		clientSeed = flag.Int64("client-seed", 42, "client key derivation seed (must match the cluster)")
 		seqBase    = flag.Uint64("seq", 0, "first sequence number (0 = continue after the cluster's ASEQ horizon)")
-		byzB       = flag.Int("b", 1, "cluster's Byzantine budget: the ASEQ probe needs b+1 replies")
+		byzB       = flag.Int("b", 1, "cluster's Byzantine budget: quorum reads and the ASEQ probe need b+1 matching replies")
+		stale      = flag.Bool("stale", false, "get: legacy single-replica GET (stale local read, no certificate)")
 	)
 	flag.Parse()
 	addrs := strings.Split(*nodes, ",")
@@ -197,9 +206,15 @@ func main() {
 	switch strings.ToLower(args[0]) {
 	case "get":
 		if len(args) != 2 {
-			fail("usage: get <key>")
+			fail("usage: get [-stale] <key>")
 		}
-		fmt.Println(request(addrs[0], "GET "+args[1]))
+		if *stale {
+			// Legacy single-replica stale read: whatever the first replica's
+			// local store holds, no freshness contract, no certificate.
+			fmt.Println(request(addrs[0], "GET "+args[1]))
+			return
+		}
+		fmt.Println(quorumGet(addrs, args[1], *byzB+1))
 	case "loglen":
 		fmt.Println(request(addrs[0], "LOGLEN"))
 	case "stats":
@@ -264,6 +279,38 @@ func main() {
 	default:
 		fail("unknown operation " + args[0])
 	}
+}
+
+// quorumGet is the Byzantine-safe read: fan READ <key> to every replica
+// (the tolerant fan-out shape of the ASEQ probe — unreachable replicas
+// are skipped, not fatal) and accept only a value that need = b+1 stamped
+// replies agree on; among certified candidates the highest applied
+// instance wins. A single forging replica can therefore never serve a
+// fabricated value, and a lagging replica's old value loses to the
+// certified newer one. Fewer than b+1 matching replies is an error — the
+// caller can retry or fall back to -stale, but must not trust one reply.
+func quorumGet(addrs []string, key string, need int) string {
+	var results []readq.Result
+	answered := 0
+	for _, addr := range addrs {
+		resp := request(strings.TrimSpace(addr), "READ "+key)
+		answered++
+		res, err := readq.Parse(resp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvctl: %s: %s\n", addr, resp)
+			continue
+		}
+		results = append(results, res)
+	}
+	got, ok := readq.Certify(results, need, nil)
+	if !ok {
+		fail(fmt.Sprintf("quorum read: no value certified by %d of %d replies (retry, or -stale for an uncertified local read)",
+			need, answered))
+	}
+	if !got.Found {
+		return "NOTFOUND"
+	}
+	return got.Value
 }
 
 // dialSessionConn connects to one replica and completes the SHELLO

@@ -37,6 +37,8 @@ import (
 	"genconsensus/internal/kv"
 	"genconsensus/internal/model"
 	"genconsensus/internal/node"
+	"genconsensus/internal/obs"
+	"genconsensus/internal/readq"
 	"genconsensus/internal/snapshot"
 	"genconsensus/internal/wire"
 )
@@ -51,6 +53,8 @@ func main() {
 		depths    = flag.String("depths", "1,2,4,8", "comma-separated pipeline depths to sweep")
 		shards    = flag.String("shards", "", "comma-separated shard counts to sweep (e.g. 1,2,4); empty = unsharded depth sweep")
 		nsweep    = flag.String("ns", "", "comma-separated cluster sizes to sweep (gossip bench; fixed depth = first -depths entry); empty = depth sweep")
+		ratios    = flag.String("read-ratios", "", "comma-separated read percentages to sweep (e.g. 0,50,90,99): mixed READ/write load at fixed depth (first -depths entry) and shard count (first -shards entry)")
+		quorum    = flag.Bool("quorum-reads", false, "with -read-ratios, fan every READ to all replicas and require a b+1 certificate (internal/readq)")
 		digest    = flag.Bool("digest", false, "vote with batch digests over the content-addressed payload plane")
 		fanout    = flag.Int("gossip-fanout", 0, "with -digest, push payloads to this many random peers (0 = full mesh)")
 		snapEvery = flag.Uint64("snapshot-interval", 4, "checkpoint interval (0 disables)")
@@ -153,6 +157,56 @@ func main() {
 			fmt.Printf("BenchmarkTCPKVLoadGossip/mode=%s/N=%d \t       1\t%12d ns/op\t%12.1f cmds/sec\t%12.1f vote-bytes/inst\n",
 				mode, size, elapsed.Nanoseconds(), perSec, perInst)
 			groupSummary(fmt.Sprintf("mode=%s/N=%d", mode, size), commits, elapsed)
+		}
+		return
+	}
+
+	if *ratios != "" {
+		// Mixed read/write sweep: read percentage R varied, depth and shard
+		// count fixed. R=0 is the write-only floor at the same cluster
+		// shape; CI gates R=99 against it (reads ride the read-index local
+		// path, so a read-heavy workload must clear the consensus-bound
+		// floor by a wide margin). reads/sec and writes/sec report the two
+		// sides separately; cmds/sec stays the gate's common currency.
+		depth, err := strconv.Atoi(strings.TrimSpace(strings.Split(*depths, ",")[0]))
+		if err != nil || depth < 1 {
+			log.Fatalf("kvload: bad depth %q", *depths)
+		}
+		shardCount := 1
+		if *shards != "" {
+			shardCount, err = strconv.Atoi(strings.TrimSpace(strings.Split(*shards, ",")[0]))
+			if err != nil || shardCount < 1 {
+				log.Fatalf("kvload: bad shard count %q", *shards)
+			}
+		}
+		name = strings.Replace(name, "BenchmarkTCPKVLoad", "BenchmarkTCPKVLoadMixed", 1)
+		for _, field := range strings.Split(*ratios, ",") {
+			ratio, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || ratio < 0 || ratio > 100 {
+				log.Fatalf("kvload: bad read ratio %q", field)
+			}
+			var elapsed time.Duration
+			var reads, writes int
+			var commits []uint64
+			for rep := 0; rep < *reps || rep == 0; rep++ {
+				e, r, w, gc, err := runMixed(mixedConfig{
+					n: *n, b: *b, f: *f, depth: depth, batch: *batch,
+					shards: shardCount, cmds: *cmds, ratio: ratio,
+					snapEvery: *snapEvery, authMode: *authMode || *session,
+					sessionMode: *session, noMetrics: *noMetrics,
+					quorumReads: *quorum, timeout: *timeout,
+				})
+				if err != nil {
+					log.Fatalf("kvload: R=%d: %v", ratio, err)
+				}
+				if rep == 0 || e < elapsed {
+					elapsed, reads, writes, commits = e, r, w, gc
+				}
+			}
+			secs := elapsed.Seconds()
+			fmt.Printf("%s/R=%d \t       1\t%12d ns/op\t%12.1f cmds/sec\t%12.1f reads/sec\t%12.1f writes/sec\n",
+				name, ratio, elapsed.Nanoseconds(), float64(*cmds)/secs, float64(reads)/secs, float64(writes)/secs)
+			groupSummary(fmt.Sprintf("R=%d", ratio), commits, elapsed)
 		}
 		return
 	}
@@ -265,44 +319,11 @@ type gossipStats struct {
 // vote with 32-byte content addresses and payloads travel once on the
 // payload plane (gossip-fanout peers pushed, the rest pull).
 func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, sessionMode, noMetrics bool, digestMode bool, fanout int, timeout time.Duration) (time.Duration, int, []uint64, gossipStats, error) {
-	nodes := make([]*node.Node, n)
-	peers := make(map[model.PID]string, n)
-	defer func() {
-		for _, nd := range nodes {
-			if nd != nil {
-				nd.Stop()
-			}
-		}
-	}()
-	for i := 0; i < n; i++ {
-		nd, err := node.New(node.Config{
-			ID: model.PID(i), N: n, B: b, F: f,
-			ListenAddr:       "127.0.0.1:0",
-			ClientAddr:       "127.0.0.1:0",
-			AuthSeed:         7,
-			MaxBatch:         batch,
-			Pipeline:         depth,
-			Shards:           shards,
-			SnapshotInterval: snapEvery,
-			AppliedKeep:      4096,
-			ClientAuth:       authMode,
-			DigestVotes:      digestMode,
-			GossipFanout:     fanout,
-			NoMetrics:        noMetrics,
-			BaseTimeout:      40 * time.Millisecond,
-		}, kv.NewStore())
-		if err != nil {
-			return 0, 0, nil, gossipStats{}, err
-		}
-		nodes[i] = nd
-		peers[model.PID(i)] = nd.Addr()
+	nodes, err := startCluster(n, b, f, depth, batch, shards, snapEvery, authMode, noMetrics, digestMode, fanout)
+	if err != nil {
+		return 0, 0, nil, gossipStats{}, err
 	}
-	for _, nd := range nodes {
-		nd.SetPeers(peers)
-	}
-	for _, nd := range nodes {
-		nd.Start()
-	}
+	defer stopAll(nodes)
 
 	lines := make([]string, cmds)
 	if authMode && !sessionMode {
@@ -410,46 +431,317 @@ func run(n, b, f, depth, batch, shards, cmds int, snapEvery uint64, authMode, se
 	return elapsed, snapBytes, commits, vote, nil
 }
 
+// startCluster stands up one fresh in-process loopback cluster (the same
+// stack cmd/kvnode runs), peered and started. The caller owns the nodes
+// and stops them via stopAll.
+func startCluster(n, b, f, depth, batch, shards int, snapEvery uint64, authMode, noMetrics, digestMode bool, fanout int) ([]*node.Node, error) {
+	nodes := make([]*node.Node, n)
+	peers := make(map[model.PID]string, n)
+	for i := 0; i < n; i++ {
+		nd, err := node.New(node.Config{
+			ID: model.PID(i), N: n, B: b, F: f,
+			ListenAddr:       "127.0.0.1:0",
+			ClientAddr:       "127.0.0.1:0",
+			AuthSeed:         7,
+			MaxBatch:         batch,
+			Pipeline:         depth,
+			Shards:           shards,
+			SnapshotInterval: snapEvery,
+			AppliedKeep:      4096,
+			ClientAuth:       authMode,
+			DigestVotes:      digestMode,
+			GossipFanout:     fanout,
+			NoMetrics:        noMetrics,
+			BaseTimeout:      40 * time.Millisecond,
+		}, kv.NewStore())
+		if err != nil {
+			stopAll(nodes)
+			return nil, err
+		}
+		nodes[i] = nd
+		peers[model.PID(i)] = nd.Addr()
+	}
+	for _, nd := range nodes {
+		nd.SetPeers(peers)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	return nodes, nil
+}
+
+func stopAll(nodes []*node.Node) {
+	for _, nd := range nodes {
+		if nd != nil {
+			nd.Stop()
+		}
+	}
+}
+
+// mixedConfig parametrizes one mixed read/write run.
+type mixedConfig struct {
+	n, b, f, depth, batch, shards, cmds, ratio int
+	snapEvery                                  uint64
+	authMode, sessionMode, noMetrics           bool
+	quorumReads                                bool
+	timeout                                    time.Duration
+}
+
+// mixedOp is one scheduled operation of a mixed load.
+type mixedOp struct {
+	write bool
+	wIdx  int    // write number (key mk-<wIdx>); valid when write
+	rIdx  int    // read number (row in the quorum result table); valid when !write
+	key   string // target key
+}
+
+// mixedSchedule interleaves writes evenly through the op stream at the
+// requested read percentage. Every read targets the most recently
+// scheduled write's key, so reads chase the freshest data the run has. At
+// least one write always remains (reads need a key, and allApplied needs
+// something to wait on).
+func mixedSchedule(cmds, ratio int) (ops []mixedOp, writes, reads int) {
+	writes = cmds * (100 - ratio) / 100
+	if writes < 1 {
+		writes = 1
+	}
+	isWrite := make([]bool, cmds)
+	for j := 0; j < writes; j++ {
+		isWrite[j*cmds/writes] = true
+	}
+	ops = make([]mixedOp, cmds)
+	wIdx, rIdx, lastW := 0, 0, 0
+	for i := range ops {
+		if isWrite[i] {
+			ops[i] = mixedOp{write: true, wIdx: wIdx, key: fmt.Sprintf("mk-%d", wIdx)}
+			lastW = wIdx
+			wIdx++
+		} else {
+			ops[i] = mixedOp{rIdx: rIdx, key: fmt.Sprintf("mk-%d", lastW)}
+			rIdx++
+		}
+	}
+	return ops, wIdx, rIdx
+}
+
+// runMixed measures one mixed load: writes broadcast to every replica (the
+// PBFT client model, as in run), reads served by READ — round-robin over
+// the replicas, or fanned to all of them under -quorum-reads with a b+1
+// certificate assembled per read (internal/readq). Wall-clock runs from
+// the first line until every replica applied every write and every read
+// got its answer; reads and writes are reported separately against the
+// shared clock.
+func runMixed(cfg mixedConfig) (time.Duration, int, int, []uint64, error) {
+	nodes, err := startCluster(cfg.n, cfg.b, cfg.f, cfg.depth, cfg.batch, cfg.shards, cfg.snapEvery, cfg.authMode, cfg.noMetrics, false, 0)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	defer stopAll(nodes)
+	ops, writes, reads := mixedSchedule(cfg.cmds, cfg.ratio)
+
+	// Quorum result table: results[read][replica], each cell written by
+	// exactly one connection goroutine, certified after the drain.
+	var results [][]readq.Result
+	var resultsOK [][]bool
+	if cfg.quorumReads {
+		results = make([][]readq.Result, reads)
+		resultsOK = make([][]bool, reads)
+		for i := range results {
+			results[i] = make([]readq.Result, cfg.n)
+			resultsOK[i] = make([]bool, cfg.n)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.n)
+	for ci, nd := range nodes {
+		wg.Add(1)
+		go func(ci int, addr string) {
+			defer wg.Done()
+			if err := driveMixed(ci, addr, cfg, ops, results, resultsOK); err != nil {
+				errs <- fmt.Errorf("mixed stream to %s: %w", addr, err)
+			}
+		}(ci, nd.ClientAddr())
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return 0, 0, 0, nil, err
+	}
+	deadline := time.Now().Add(cfg.timeout)
+	for !allApplied(nodes, writes) {
+		if time.Now().After(deadline) {
+			return 0, 0, 0, nil, fmt.Errorf("timed out waiting for %d writes to apply", writes)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	if cfg.quorumReads {
+		var mismatch *obs.Counter
+		if reg := nodes[0].Metrics(); reg != nil {
+			mismatch = reg.Counter("kv.read_certificate_mismatch")
+		}
+		for r := range results {
+			var rs []readq.Result
+			for ci := range results[r] {
+				if resultsOK[r][ci] {
+					rs = append(rs, results[r][ci])
+				}
+			}
+			if _, ok := readq.Certify(rs, cfg.b+1, mismatch); !ok {
+				return 0, 0, 0, nil, fmt.Errorf("read %d: no b+1 certificate from %d replies", r, len(rs))
+			}
+		}
+	}
+
+	var commits []uint64
+	if reg := nodes[0].Metrics(); reg != nil {
+		commits = make([]uint64, nodes[0].Shards())
+		for g := range commits {
+			commits[g] = reg.CounterValue(fmt.Sprintf("g%d.smr.commits", g))
+		}
+	}
+	return elapsed, reads, writes, commits, nil
+}
+
+// driveMixed streams one replica's share of the mixed load over a single
+// connection: every write (broadcast), plus the reads assigned to this
+// replica (all of them under -quorum-reads). The stream is fully
+// pipelined; a sender goroutine keeps writing while this goroutine drains
+// responses, so a large load can never deadlock on full socket buffers.
+func driveMixed(ci int, addr string, cfg mixedConfig, ops []mixedOp, results [][]readq.Result, resultsOK [][]bool) error {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var sc *bufio.Scanner
+	var macer *auth.SessionMACer
+	const client = uint32(1)
+	if cfg.sessionMode {
+		if sc, macer, err = sessionHandshake(conn, client); err != nil {
+			return err
+		}
+	} else {
+		sc = bufio.NewScanner(conn)
+	}
+	var signer *auth.ClientSigner
+	if cfg.authMode && !cfg.sessionMode {
+		signer = auth.NewClientSigner(7, client)
+	}
+
+	type expect struct {
+		write bool
+		rIdx  int
+	}
+	var buf strings.Builder
+	var expects []expect
+	for _, op := range ops {
+		switch {
+		case op.write:
+			seq := uint64(op.wIdx + 1)
+			value := fmt.Sprintf("mv-%d", op.wIdx)
+			switch {
+			case cfg.sessionMode:
+				payload := kv.AuthPayload(client, seq, "SET", op.key, value)
+				tag := macer.Append(nil, seq, []byte(payload))
+				fmt.Fprintf(&buf, "SCMD %d %s SET %s %s\n", seq, hex.EncodeToString(tag), op.key, value)
+			case cfg.authMode:
+				mac := hex.EncodeToString(kv.AuthMAC(signer, seq, "SET", op.key, value))
+				fmt.Fprintf(&buf, "ACMD %d %d %s SET %s %s\n", client, seq, mac, op.key, value)
+			default:
+				fmt.Fprintf(&buf, "CMD md-%d SET %s %s\n", op.wIdx, op.key, value)
+			}
+			expects = append(expects, expect{write: true})
+		case cfg.quorumReads || op.rIdx%cfg.n == ci:
+			fmt.Fprintf(&buf, "READ %s\n", op.key)
+			expects = append(expects, expect{rIdx: op.rIdx})
+		}
+	}
+
+	sendErr := make(chan error, 1)
+	go func() {
+		_, err := io.WriteString(conn, buf.String())
+		sendErr <- err
+	}()
+	for i, e := range expects {
+		if !sc.Scan() {
+			return fmt.Errorf("stream ended early at %d/%d", i, len(expects))
+		}
+		resp := sc.Text()
+		if e.write {
+			// "replayed sequence"/"duplicate identity" are the benign PBFT-
+			// client races: the write already committed (or is queued) via
+			// another replica's copy of the broadcast.
+			if resp != "QUEUED" && resp != "ERR replayed sequence" && resp != "ERR duplicate identity" {
+				return fmt.Errorf("write %d: %q", i, resp)
+			}
+			continue
+		}
+		res, err := readq.Parse(resp)
+		if err != nil {
+			return fmt.Errorf("read %d: %v", e.rIdx, err)
+		}
+		if cfg.quorumReads {
+			results[e.rIdx][ci] = res
+			resultsOK[e.rIdx][ci] = true
+		}
+	}
+	return <-sendErr
+}
+
+// sessionHandshake authenticates one connection via SHELLO and returns the
+// connection's scanner plus the midstate-cached session tagger — the
+// kvctl -session client shape.
+func sessionHandshake(conn net.Conn, client uint32) (*bufio.Scanner, *auth.SessionMACer, error) {
+	keyring := auth.NewClientKeyring(7, 16)
+	key, _ := keyring.Key(client)
+	var nonce [auth.SessionNonceSize]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, nil, err
+	}
+	mac := auth.ClientHelloMAC(key, client, nonce[:])
+	if _, err := fmt.Fprintf(conn, "SHELLO %d %s %s\n", client, hex.EncodeToString(nonce[:]), hex.EncodeToString(mac)); err != nil {
+		return nil, nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("no SHELLO reply")
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 3 || fields[0] != "SESSION" {
+		return nil, nil, fmt.Errorf("SHELLO reply: %q", sc.Text())
+	}
+	serverNonce, err := hex.DecodeString(fields[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	ack, err := hex.DecodeString(fields[2])
+	if err != nil {
+		return nil, nil, err
+	}
+	if !auth.CheckClientHelloAckMAC(key, client, nonce[:], serverNonce, ack) {
+		return nil, nil, fmt.Errorf("session ack rejected")
+	}
+	skey := auth.ClientSessionKey(key, client, nonce[:], serverNonce)
+	// Midstate-cached tagging (auth.SessionMACer): the session key is fixed
+	// for the connection, so the HMAC key blocks are hashed once, not per
+	// line — the same optimization the node applies on its verify side.
+	return sc, auth.NewSessionMACer(skey), nil
+}
+
 // driveSession authenticates the connection once (SHELLO) and streams the
 // whole load as SCMD writes under the session key — the amortized-auth
 // client shape. Writes are pipelined: the full batch is sent before the
 // responses are drained.
 func driveSession(conn net.Conn, cmds int) error {
 	const client = uint32(1)
-	keyring := auth.NewClientKeyring(7, 16)
-	key, _ := keyring.Key(client)
-	var nonce [auth.SessionNonceSize]byte
-	if _, err := rand.Read(nonce[:]); err != nil {
-		return err
-	}
-	mac := auth.ClientHelloMAC(key, client, nonce[:])
-	if _, err := fmt.Fprintf(conn, "SHELLO %d %s %s\n", client, hex.EncodeToString(nonce[:]), hex.EncodeToString(mac)); err != nil {
-		return err
-	}
-	sc := bufio.NewScanner(conn)
-	if !sc.Scan() {
-		return fmt.Errorf("no SHELLO reply")
-	}
-	fields := strings.Fields(sc.Text())
-	if len(fields) != 3 || fields[0] != "SESSION" {
-		return fmt.Errorf("SHELLO reply: %q", sc.Text())
-	}
-	serverNonce, err := hex.DecodeString(fields[1])
+	sc, macer, err := sessionHandshake(conn, client)
 	if err != nil {
 		return err
 	}
-	ack, err := hex.DecodeString(fields[2])
-	if err != nil {
-		return err
-	}
-	if !auth.CheckClientHelloAckMAC(key, client, nonce[:], serverNonce, ack) {
-		return fmt.Errorf("session ack rejected")
-	}
-	skey := auth.ClientSessionKey(key, client, nonce[:], serverNonce)
-	// Midstate-cached tagging (auth.SessionMACer): the session key is fixed
-	// for the connection, so the HMAC key blocks are hashed once, not per
-	// line — the same optimization the node applies on its verify side.
-	macer := auth.NewSessionMACer(skey)
 
 	var buf strings.Builder
 	for i := 0; i < cmds; i++ {

@@ -338,6 +338,25 @@ func (s *Store) ClientMaxSeq(client uint32) uint64 {
 	return st.Max
 }
 
+// SeqApplied reports whether the client's sequence number seq has been
+// applied here: either its response is still in the dedup window, or it
+// fell below the exact-tracking horizon (applied long ago). Read-your-
+// writes sessions poll it — a session READ must not serve until the
+// session's last write has applied on this replica.
+func (s *Store) SeqApplied(client uint32, seq uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.clients[client]
+	if !ok {
+		return false
+	}
+	if st.BelowHorizon(seq, s.seqWindow) {
+		return true
+	}
+	_, done := st.Entries[seq]
+	return done
+}
+
 // EachAppliedSeq visits every (client, seq) the dedup windows currently
 // track, plus each client's horizon maximum. Recovery uses it to seed the
 // SMR replay window from a restored snapshot — without the reseed, a
@@ -445,6 +464,26 @@ func (s *Store) Get(key string) (string, bool) {
 	defer s.mu.RUnlock()
 	v, ok := s.data[key]
 	return v, ok
+}
+
+// ReadResult is one key's answer from a batched read.
+type ReadResult struct {
+	Value string
+	Found bool
+}
+
+// GetMany answers a batch of keys under a single read-lock acquisition —
+// the MREAD fast path: one watermark capture, one lock, many keys. Results
+// align with keys by index.
+func (s *Store) GetMany(keys []string) []ReadResult {
+	out := make([]ReadResult, len(keys))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, k := range keys {
+		v, ok := s.data[k]
+		out[i] = ReadResult{Value: v, Found: ok}
+	}
+	return out
 }
 
 // Len returns the number of live keys.

@@ -413,3 +413,59 @@ func TestLegacySnapshotStillV1(t *testing.T) {
 		t.Fatal("legacy restore lost data")
 	}
 }
+
+// GetMany answers a whole batch under one read lock; results align with
+// the request order, missing keys report Found=false, and the batch sees
+// the same snapshot a per-key Get would.
+func TestGetMany(t *testing.T) {
+	s := NewStore()
+	s.Apply(Command("r1", "SET", "a", "1"))
+	s.Apply(Command("r2", "SET", "b", "2"))
+	s.Apply(Command("r3", "SET", "c", "3"))
+	got := s.GetMany([]string{"b", "missing", "a", "b"})
+	want := []ReadResult{
+		{Value: "2", Found: true},
+		{Found: false},
+		{Value: "1", Found: true},
+		{Value: "2", Found: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("GetMany returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GetMany[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if out := s.GetMany(nil); len(out) != 0 {
+		t.Fatalf("GetMany(nil) returned %d results", len(out))
+	}
+}
+
+// SeqApplied is the read-your-writes probe: false before the write
+// applies, true once its response is in the dedup window, and still true
+// after the window slides past it (below-horizon means applied long ago).
+func TestSeqApplied(t *testing.T) {
+	s, signer := authStore(4)
+	if s.SeqApplied(1, 1) {
+		t.Fatal("SeqApplied true for an unapplied seq")
+	}
+	s.Apply(mustSigned(t, signer, 1, "SET", "k", "v1"))
+	if !s.SeqApplied(1, 1) {
+		t.Fatal("SeqApplied false for an applied seq")
+	}
+	if s.SeqApplied(2, 1) {
+		t.Fatal("SeqApplied leaked across clients")
+	}
+	if s.SeqApplied(1, 2) {
+		t.Fatal("SeqApplied true for a future seq")
+	}
+	// Slide the window far past seq 1: it falls below the horizon but
+	// stays applied.
+	for seq := uint64(2); seq <= 12; seq++ {
+		s.Apply(mustSigned(t, signer, seq, "SET", "k", "v"))
+	}
+	if !s.SeqApplied(1, 1) {
+		t.Fatal("SeqApplied false for a below-horizon seq")
+	}
+}

@@ -173,6 +173,10 @@ type Config struct {
 	// behind and probes its peers for verified decisions or a newer
 	// checkpoint (default 2s).
 	StallTimeout time.Duration
+	// ReadTimeout bounds one READ/MREAD read-index wait (default 5s). It
+	// must comfortably exceed StallTimeout: a lagging replica's blocked
+	// read is rescued by the stall watcher's catch-up, not abandoned.
+	ReadTimeout time.Duration
 	// SnapChunkBytes overrides the state-transfer chunk size (tests).
 	SnapChunkBytes int
 	// Logf receives progress lines (nil = silent).
@@ -220,6 +224,12 @@ type group struct {
 	commitNS *obs.Histogram
 	catchups *obs.Counter
 	stalls   *obs.Counter
+
+	// Read-plane instruments: READ/MREAD keys served, read-index wait
+	// latency, and GETs answered under the stale (no-freshness) contract.
+	reads      *obs.Counter
+	readWaitNS *obs.Histogram
+	staleGets  *obs.Counter
 
 	// kick wakes the dispatcher ahead of its poll tick: pulsed when a
 	// client enqueues work and when a pipeline slot frees up. Together with
@@ -281,6 +291,9 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 	}
 	if cfg.StallTimeout == 0 {
 		cfg.StallTimeout = 2 * time.Second
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 5 * time.Second
 	}
 	if cfg.TD == 0 {
 		cfg.TD = 2*cfg.B + 1
@@ -425,6 +438,9 @@ func New(cfg Config, sm smr.StateMachine) (*Node, error) {
 		g.commitNS = reg.Histogram(prefix + "node.commit_ns")
 		g.catchups = reg.Counter(prefix + "node.catchups")
 		g.stalls = reg.Counter(prefix + "node.stalls")
+		g.reads = reg.Counter(prefix + "kv.reads")
+		g.readWaitNS = reg.Histogram(prefix + "kv.read_wait_ns")
+		g.staleGets = reg.Counter(prefix + "kv.stale_gets")
 		gref := g
 		reg.GaugeFunc(prefix+"node.inflight", func() int64 { return int64(gref.inflight.Load()) })
 		reg.GaugeFunc(prefix+"node.pending", func() int64 { return int64(gref.replica.PendingLen()) })
@@ -1149,7 +1165,9 @@ func (g *group) catchUp() {
 //	ACMD <client> <seq> <mac-hex> DEL <k>      → "QUEUED" (authenticated mode)
 //	SHELLO <client> <nonce-hex> <mac-hex>      → "SESSION <nonce-hex> <mac-hex>"
 //	SCMD <seq> <tag-hex> SET|DEL <key> [value] → "QUEUED" (after SHELLO)
-//	GET <key>                                  → value or "NOTFOUND"
+//	GET <key>                                  → value or "NOTFOUND" (stale local read)
+//	READ <key>                                 → "VAL <group> <inst> <value>" or "NF <group> <inst>"
+//	MREAD <key> [key ...]                      → one VAL/NF line per key, then "END"
 //	LOGLEN                                     → decided-log length, summed over groups
 //	ASEQ <client>                              → client's highest applied seq over all groups
 //	SHARDS                                     → the node's consensus group count
@@ -1164,8 +1182,14 @@ func (g *group) catchUp() {
 // pinned with USE belongs to one group; a write whose key hashes elsewhere
 // is answered with "ERR wrongshard <owner>" instead of being silently
 // misrouted — the redirect a sharding-aware client uses to fix its routing
-// table. GET routes by key regardless of the pin (reads are local and
-// group-transparent).
+// table. GET/READ/MREAD route by key regardless of the pin (reads are
+// local and group-transparent).
+//
+// GET is the legacy stale read: the local store, no freshness contract.
+// READ/MREAD are read-index reads — capture the group's read index, wait
+// until apply passes it, serve stamped with the applied instance (see
+// docs/READS.md for the full contract and the b+1 certificate flavor
+// built on the stamps).
 //
 // In authenticated mode plain CMD writes are refused (a signed cluster
 // accepts no anonymous commands) and ACMD lines are verified at ingress:
@@ -1221,6 +1245,22 @@ type clientConn struct {
 	signer    *auth.ClientSigner // mints envelope MACs for session writes
 	lastSeq   uint64             // highest session sequence accepted
 	strikes   int                // failed authentications on this connection
+
+	// wrote remembers the session's last accepted write sequence per
+	// consensus group — the read-your-writes anchor: a session READ waits
+	// until the group's store has applied at least that sequence. Lazily
+	// allocated on the first session write.
+	wrote map[wire.GroupID]uint64
+}
+
+// noteWrite records an accepted session write for read-your-writes.
+func (c *clientConn) noteWrite(g wire.GroupID, seq uint64) {
+	if c.wrote == nil {
+		c.wrote = make(map[wire.GroupID]uint64)
+	}
+	if seq > c.wrote[g] {
+		c.wrote[g] = seq
+	}
 }
 
 // maxClientStrikes is the per-connection authentication-failure budget;
@@ -1278,6 +1318,8 @@ func (n *Node) registerClientVerbs() {
 	n.RegisterVerb("SHELLO", handleSessionHello)
 	n.RegisterVerb("SCMD", handleSessionCmd)
 	n.RegisterVerb("GET", handleGet)
+	n.RegisterVerb("READ", handleRead)
+	n.RegisterVerb("MREAD", handleMRead)
 	n.RegisterVerb("LOGLEN", handleLogLen)
 	n.RegisterVerb("ASEQ", handleAppliedSeq)
 	n.RegisterVerb("SHARDS", handleShards)
@@ -1346,6 +1388,7 @@ func handleGet(c *clientConn, fields []string) string {
 	if !ok {
 		return "ERR not a kv store"
 	}
+	g.staleGets.Inc()
 	if v, ok := store.Get(fields[0]); ok {
 		return v
 	}
@@ -1611,6 +1654,7 @@ func handleSessionCmd(c *clientConn, fields []string) string {
 		return c.strike("ERR session tag rejected")
 	}
 	c.lastSeq = seq
+	c.noteWrite(g.id, seq)
 	mac := c.signer.Sign(seq, []byte(payload))
 	enc, err := wire.AppendCommandBytes(nil, c.client, seq, string(payload), mac)
 	if err != nil {

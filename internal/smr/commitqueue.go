@@ -2,6 +2,7 @@ package smr
 
 import (
 	"sync"
+	"time"
 
 	"genconsensus/internal/model"
 )
@@ -35,6 +36,10 @@ type CommitQueue struct {
 	claimed    int
 	claims     map[uint64]int
 	decisions  map[uint64]model.Value
+	// appliedCh is closed and replaced whenever the commit watermark
+	// advances — a broadcast that WaitApplied parks on. Go's sync.Cond has
+	// no deadline-bounded wait, so the close-a-channel idiom stands in.
+	appliedCh chan struct{}
 }
 
 // NewCommitQueue builds the queue; firstInstance is the next instance
@@ -46,6 +51,7 @@ func NewCommitQueue(r *Replica, firstInstance uint64, onCommit func(uint64, mode
 		nextCommit: firstInstance,
 		claims:     make(map[uint64]int),
 		decisions:  make(map[uint64]model.Value),
+		appliedCh:  make(chan struct{}),
 	}
 }
 
@@ -124,6 +130,9 @@ func (q *CommitQueue) flushLocked() int {
 	for {
 		v, ok := q.decisions[q.nextCommit]
 		if !ok {
+			if committed > 0 {
+				q.broadcastLocked()
+			}
 			return committed
 		}
 		delete(q.decisions, q.nextCommit)
@@ -176,6 +185,78 @@ func (q *CommitQueue) InstallSnapshot(nextInstance uint64, install func() error)
 		q.claimed += claim
 	}
 	q.nextCommit = nextInstance
-	q.flushLocked()
+	if q.flushLocked() == 0 {
+		// flushLocked only broadcasts when it commits; the snapshot jump
+		// itself moved the watermark, so wake waiters regardless.
+		q.broadcastLocked()
+	}
 	return true, nil
+}
+
+// broadcastLocked wakes every WaitApplied waiter. Callers hold q.mu.
+func (q *CommitQueue) broadcastLocked() {
+	close(q.appliedCh)
+	q.appliedCh = make(chan struct{})
+}
+
+// ReadIndex reports the highest instance this replica knows has decided:
+// the last committed instance, or the highest decision still buffered
+// behind a gap (out-of-order deliveries, WAL replay frontier). It is the
+// commit-queue half of a read-index capture — the node layer additionally
+// folds in the transport's observed instance high, which covers decisions
+// announced by peers that have not been delivered here yet. Zero means
+// nothing is known decided.
+func (q *CommitQueue) ReadIndex() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var ri uint64
+	if q.nextCommit > 0 {
+		ri = q.nextCommit - 1
+	}
+	for inst := range q.decisions {
+		if inst > ri {
+			ri = inst
+		}
+	}
+	return ri
+}
+
+// WaitApplied blocks until instance has been committed and applied (the
+// watermark has passed it) or the deadline expires, reporting which. It is
+// the read-index wait: capture an index, WaitApplied(index), then serve
+// from local state. Instances below the watermark return true immediately
+// without blocking, so waiting on an already-applied index is free.
+func (q *CommitQueue) WaitApplied(instance uint64, deadline time.Time) bool {
+	q.mu.Lock()
+	if q.nextCommit > instance {
+		q.mu.Unlock()
+		return true
+	}
+	var timer *time.Timer
+	for q.nextCommit <= instance {
+		ch := q.appliedCh
+		q.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			if timer != nil {
+				timer.Stop()
+			}
+			return false
+		}
+		if timer == nil {
+			timer = time.NewTimer(wait)
+		} else {
+			timer.Reset(wait)
+		}
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return false
+		}
+		q.mu.Lock()
+	}
+	q.mu.Unlock()
+	timer.Stop()
+	return true
 }

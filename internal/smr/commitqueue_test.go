@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"genconsensus/internal/kv"
 	"genconsensus/internal/model"
@@ -187,5 +188,107 @@ func TestCommitQueueInstallSnapshot(t *testing.T) {
 	ok, err = q.InstallSnapshot(7, func() error { called = true; return nil })
 	if err != nil || ok || called {
 		t.Fatalf("stale install: ok=%v err=%v called=%v", ok, err, called)
+	}
+}
+
+// ReadIndex tracks the highest known-decided instance: the committed
+// watermark when the queue is caught up, and the out-of-order frontier
+// when decisions are buffered behind a gap.
+func TestCommitQueueReadIndex(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	q := NewCommitQueue(r, 1, nil)
+	if got := q.ReadIndex(); got != 0 {
+		t.Fatalf("fresh queue ReadIndex = %d, want 0", got)
+	}
+	if q.Deliver(1, testCmd(1)) != 1 {
+		t.Fatal("in-order delivery did not commit")
+	}
+	if got := q.ReadIndex(); got != 1 {
+		t.Fatalf("ReadIndex = %d after committing 1, want 1", got)
+	}
+	// Instance 3 buffers behind the missing 2: the read index must report
+	// 3 — this replica knows a newer decision exists, so a read-index read
+	// has to wait for it rather than serve the instance-1 state.
+	if q.Deliver(3, testCmd(3)) != 0 {
+		t.Fatal("gapped delivery committed")
+	}
+	if got := q.ReadIndex(); got != 3 {
+		t.Fatalf("ReadIndex = %d with buffered instance 3, want 3", got)
+	}
+	if q.Deliver(2, testCmd(2)) != 2 {
+		t.Fatal("gap fill did not flush both")
+	}
+	if got := q.ReadIndex(); got != 3 {
+		t.Fatalf("ReadIndex = %d after flush, want 3", got)
+	}
+}
+
+// WaitApplied returns immediately for applied instances, blocks across a
+// decision gap until the flush passes the target, and respects deadlines.
+func TestCommitQueueWaitApplied(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	q := NewCommitQueue(r, 1, nil)
+	q.Deliver(1, testCmd(1))
+	if !q.WaitApplied(1, time.Now()) {
+		t.Fatal("WaitApplied(applied instance) blocked")
+	}
+	// Deadline already expired and the instance is not applied: false.
+	if q.WaitApplied(2, time.Now().Add(-time.Second)) {
+		t.Fatal("WaitApplied reported an unapplied instance as applied")
+	}
+	// Buffer 3 behind the missing 2, then fill the gap from another
+	// goroutine: the waiter must wake once the flush passes instance 3.
+	q.Deliver(3, testCmd(3))
+	done := make(chan bool, 1)
+	go func() {
+		done <- q.WaitApplied(3, time.Now().Add(10*time.Second))
+	}()
+	select {
+	case <-done:
+		t.Fatal("WaitApplied returned before the gap filled")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Deliver(2, testCmd(2))
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("WaitApplied timed out despite the flush")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitApplied never woke after the gap filled")
+	}
+	if q.WaitApplied(99, time.Now().Add(30*time.Millisecond)) {
+		t.Fatal("WaitApplied(future instance) did not time out")
+	}
+}
+
+// A snapshot install advances the watermark without committing anything
+// through the queue; WaitApplied waiters parked on covered instances must
+// wake.
+func TestCommitQueueWaitAppliedSnapshot(t *testing.T) {
+	r := NewReplica(0, kv.NewStore())
+	q := NewCommitQueue(r, 1, nil)
+	done := make(chan bool, 1)
+	go func() {
+		done <- q.WaitApplied(7, time.Now().Add(10*time.Second))
+	}()
+	select {
+	case <-done:
+		t.Fatal("WaitApplied returned before the snapshot install")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if ok, err := q.InstallSnapshot(9, nil); !ok || err != nil {
+		t.Fatalf("InstallSnapshot = %v, %v", ok, err)
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("WaitApplied timed out despite the snapshot fast-forward")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitApplied never woke after the snapshot install")
+	}
+	if got := q.ReadIndex(); got != 8 {
+		t.Fatalf("ReadIndex = %d after snapshot to 9, want 8", got)
 	}
 }

@@ -176,6 +176,20 @@ type groupState struct {
 	decisions     map[uint64]model.Value // recent decided values by local id
 	decisionLog   []uint64               // ring order for eviction
 	decisionBytes int                    // decided-value bytes held by the ring
+	// observed is the highest group-local instance id this node has seen
+	// evidence of — a buffered peer frame, a release, a recorded decision.
+	// It feeds read-index captures: a lagging replica that has heard of a
+	// newer instance must not serve reads from before it. Frames only move
+	// it within the release window (the same bound deliverLocal enforces),
+	// so a fabricated far-future id cannot park reads forever.
+	observed uint64
+}
+
+// observe lifts the observed-instance high watermark. Callers hold n.mu.
+func (gs *groupState) observe(local uint64) {
+	if local > gs.observed {
+		gs.observed = local
+	}
 }
 
 // group returns g's state, creating it lazily. Callers hold n.mu and have
@@ -452,6 +466,7 @@ func (n *Node) deliverLocal(env wire.Envelope) {
 	if local > base+uint64(n.cfg.WindowInstances) {
 		return
 	}
+	gs.observe(local)
 	buf, ok := n.instances[env.Instance]
 	if !ok {
 		buf = newInstanceBuf()
@@ -656,6 +671,7 @@ func (n *Node) ReleaseInstance(instance uint64) {
 		gs.released = local
 	}
 	gs.hasReleased = true
+	gs.observe(local)
 	for id := range n.instances {
 		if ig, il := wire.SplitGID(id); ig == g && il <= gs.released {
 			delete(n.instances, id)
@@ -676,6 +692,23 @@ func (n *Node) InstanceCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.instances)
+}
+
+// GroupInstanceHigh reports the highest group-local instance id of group g
+// this node has seen any evidence of: a buffered peer frame, a released
+// (committed) instance, or a decision recorded in the catch-up ring. It is
+// the transport half of a read-index capture — under concurrent writes a
+// lagging replica hears peer frames for head instances and must wait for
+// them before serving a READ. Zero means no instance of g has been
+// observed.
+func (n *Node) GroupInstanceHigh(g wire.GroupID) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	gs, ok := n.groups[g]
+	if !ok {
+		return 0
+	}
+	return gs.observed
 }
 
 // GroupInstanceCount reports how many of the buffered instances belong to
